@@ -1,0 +1,113 @@
+// Command ownsim runs one cycle-accurate NoC simulation and prints its
+// performance and power summary.
+//
+// Examples:
+//
+//	ownsim -topo own -cores 256 -pattern uniform -load 0.004
+//	ownsim -topo cmesh -cores 1024 -pattern bitreversal -load 0.001 -measure 20000
+//	ownsim -topo own -config 1 -scenario conservative
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"ownsim/internal/core"
+	"ownsim/internal/fabric"
+	"ownsim/internal/power"
+	"ownsim/internal/topology"
+	"ownsim/internal/traffic"
+	"ownsim/internal/wireless"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ownsim: ")
+
+	topo := flag.String("topo", "own", "topology: own|cmesh|wcmesh|optxb|pclos")
+	cores := flag.Int("cores", 256, "core count: 256 or 1024")
+	pattern := flag.String("pattern", "uniform", "traffic: uniform|bitreversal|transpose|shuffle|neighbor|hotspot")
+	load := flag.Float64("load", 0.5*topology.UniformSaturationLoad(256), "offered load in flits/node/cycle")
+	config := flag.Int("config", 4, "OWN Table IV configuration (1-4)")
+	scenario := flag.String("scenario", "ideal", "Table III scenario: ideal|conservative")
+	warmup := flag.Uint64("warmup", 3000, "warmup cycles")
+	measure := flag.Uint64("measure", 12000, "measurement cycles")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	reconfig := flag.Bool("reconfig", false, "bond the reserve channels (Table III links 13-16) onto the C2C links (OWN-256 only)")
+	fail := flag.String("fail", "", "comma-separated OWN-256 wireless channel IDs to take out of service")
+	telemetry := flag.Int("telemetry", 0, "print the top-N busiest shared channels after the run")
+	dot := flag.String("dot", "", "write the router-level topology as Graphviz DOT to this path")
+	flag.Parse()
+
+	pat, err := traffic.ParsePattern(*pattern)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scen := wireless.Ideal
+	if *scenario == "conservative" {
+		scen = wireless.Conservative
+	} else if *scenario != "ideal" {
+		log.Fatalf("unknown scenario %q", *scenario)
+	}
+	if *config < 1 || *config > 4 {
+		log.Fatalf("config must be 1-4, got %d", *config)
+	}
+
+	var failedChannels []int
+	if *fail != "" {
+		for _, tok := range strings.Split(*fail, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil {
+				log.Fatalf("bad -fail entry %q: %v", tok, err)
+			}
+			failedChannels = append(failedChannels, id)
+		}
+	}
+
+	sys := core.NewSystem(*topo, *cores, wireless.Config(*config), scen)
+	if *topo == "own" && *cores == 256 && (*reconfig || len(failedChannels) > 0) {
+		// Rebuild with the OWN-256 extensions enabled.
+		rc, fc := *reconfig, failedChannels
+		sys.Build = func(m *power.Meter) *fabric.Network {
+			return core.BuildOWN256(core.Params{
+				Config: wireless.Config(*config), Scenario: scen,
+				Meter: m, Reconfig: rc, FailedChannels: fc,
+			})
+		}
+	} else if *reconfig || len(failedChannels) > 0 {
+		log.Fatal("-reconfig and -fail apply only to -topo own -cores 256")
+	}
+	fmt.Printf("topology=%s cores=%d pattern=%s load=%.5f f/n/c (uniform capacity %.5f)\n",
+		*topo, *cores, pat, *load, topology.UniformSaturationLoad(*cores))
+
+	m := power.NewMeter(nil)
+	n := sys.Build(m)
+	if *dot != "" {
+		if err := os.WriteFile(*dot, []byte(n.DOT()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote topology graph to %s\n", *dot)
+	}
+	res := n.Run(
+		fabric.TrafficSpec{Pattern: pat, Rate: *load, Seed: *seed, Policy: sys.Policy, Classify: sys.Classify},
+		fabric.RunSpec{Warmup: *warmup, Measure: *measure},
+	)
+
+	fmt.Printf("\nperformance: %s\n", res.Summary)
+	if !res.Drained {
+		fmt.Println("  WARNING: measured packets did not drain — operating beyond saturation")
+	}
+	fmt.Printf("power:       %s\n", res.Power)
+	if res.AvgWirelessChannelMW > 0 {
+		fmt.Printf("wireless:    %.3f mW average per channel (Figure 5 metric)\n", res.AvgWirelessChannelMW)
+	}
+	fmt.Printf("energy/pkt:  %.0f pJ\n", core.EnergyPerPacketPJ(res, *cores))
+	if *telemetry > 0 {
+		fmt.Println()
+		fmt.Print(n.Telemetry(*telemetry))
+	}
+}

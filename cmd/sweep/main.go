@@ -1,0 +1,68 @@
+// Command sweep produces a latency/throughput-versus-load curve for one
+// or all architectures (the data behind the paper's Figure 7b/c), in CSV
+// on stdout. Sweep points run in parallel across CPUs.
+//
+// Example:
+//
+//	sweep -topo all -cores 256 -pattern uniform -points 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ownsim/internal/core"
+	"ownsim/internal/plot"
+
+	"ownsim/internal/traffic"
+	"ownsim/internal/wireless"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+
+	topo := flag.String("topo", "all", "topology: all|own|cmesh|wcmesh|optxb|pclos")
+	cores := flag.Int("cores", 256, "core count: 256 or 1024")
+	pattern := flag.String("pattern", "uniform", "traffic pattern")
+	points := flag.Int("points", 8, "number of load points")
+	warmup := flag.Uint64("warmup", 3000, "warmup cycles")
+	measure := flag.Uint64("measure", 12000, "measurement cycles")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	doPlot := flag.Bool("plot", false, "render an ASCII latency-load chart on stderr")
+	flag.Parse()
+
+	pat, err := traffic.ParsePattern(*pattern)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := core.SystemNames()
+	if *topo != "all" {
+		names = []string{*topo}
+	}
+	b := core.Budget{Warmup: *warmup, Measure: *measure, Loads: *points, Seed: *seed}
+	loads := core.SweepLoads(*cores, *points)
+
+	fmt.Println("topology,pattern,load_fnc,avg_latency_cy,throughput_fnc,saturated")
+	var chart []plot.Series
+	for _, name := range names {
+		sys := core.NewSystem(name, *cores, wireless.Config4, wireless.Ideal)
+		pts := core.Sweep(sys, pat, loads, b)
+		series := plot.Series{Name: name}
+		for _, p := range pts {
+			fmt.Printf("%s,%s,%.6f,%.2f,%.6f,%v\n", name, pat, p.Load, p.Latency, p.Throughput, p.Saturated)
+			if !p.Saturated {
+				series.X = append(series.X, p.Load)
+				series.Y = append(series.Y, p.Latency)
+			}
+		}
+		chart = append(chart, series)
+	}
+	if *doPlot {
+		title := fmt.Sprintf("avg latency (cy) vs offered load (f/n/c), %s @ %d cores", pat, *cores)
+		fmt.Fprint(os.Stderr, plot.Chart(title, chart, 72, 18))
+	}
+
+}

@@ -1,0 +1,108 @@
+// Command tables prints the paper's Tables I-IV as reproduced by this
+// implementation, plus the photonic component inventory from the paper's
+// introduction.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"ownsim/internal/photonic"
+	"ownsim/internal/wireless"
+)
+
+func main() {
+	which := flag.String("table", "all", "table to print: 1|2|3|4|inventory|all")
+	flag.Parse()
+
+	printers := []struct {
+		key string
+		fn  func()
+	}{
+		{"1", tableI}, {"2", tableII}, {"3", tableIII}, {"4", tableIV}, {"inventory", inventory},
+	}
+	for _, p := range printers {
+		if *which == "all" || *which == p.key {
+			p.fn()
+			fmt.Println()
+		}
+	}
+}
+
+func header(title string) {
+	fmt.Println(title)
+	fmt.Println(strings.Repeat("-", len(title)))
+}
+
+func tableI() {
+	header("Table I — OWN-256 wireless channel allocation")
+	fmt.Printf("%-4s %-10s %-6s %-6s %-6s %-10s %-6s\n", "ch", "clusters", "tx", "rx", "class", "dist (mm)", "LD")
+	for _, l := range wireless.OWN256Links() {
+		fmt.Printf("%-4d %d -> %-5d %-6s %-6s %-6s %-10.0f %-6.2f\n",
+			l.ID, l.SrcCluster, l.DstCluster, l.TxAntenna, l.RxAntenna,
+			l.Class, l.Class.NominalMM(), l.Class.LDFactor())
+	}
+}
+
+func tableII() {
+	header("Table II — OWN-1024 wireless channels (SWMR inter-group + intra-group)")
+	fmt.Printf("%-4s %-10s %-8s %-7s %-6s\n", "ch", "groups", "antenna", "kind", "class")
+	for _, l := range wireless.OWN1024Links() {
+		kind := "inter"
+		if l.Intra() {
+			kind = "intra"
+		}
+		fmt.Printf("%-4d %d -> %-6d %-8s %-7s %-6s\n", l.ID, l.SrcGroup, l.DstGroup, l.Antenna, kind, l.Class)
+	}
+}
+
+func tableIII() {
+	header("Table III — 16-band plan (reconstructed; see DESIGN.md)")
+	for _, s := range []wireless.Scenario{wireless.Ideal, wireless.Conservative} {
+		fmt.Printf("\nscenario %s: %g GHz bands, %g GHz isolation, %g Gb/s per channel\n",
+			s, s.BWGHz(), s.IsolationGHz(), s.BWGbps())
+		fmt.Printf("%-5s %-10s %-8s %-10s\n", "band", "f (GHz)", "tech", "pJ/bit")
+		for _, b := range wireless.BandPlan(s) {
+			fmt.Printf("%-5d %-10.0f %-8s %-10.2f\n", b.Index+1, b.CenterGHz, b.Tech, b.EPBpJ(s))
+		}
+	}
+}
+
+func tableIV() {
+	header("Table IV — configurations and resulting channel plans (OWN-256)")
+	for _, cfg := range wireless.AllConfigs() {
+		fmt.Printf("\n%s: C2C=%s E2E=%s SR=%s\n", cfg,
+			cfg.TechFor(wireless.C2C), cfg.TechFor(wireless.E2E), cfg.TechFor(wireless.SR))
+		for _, s := range []wireless.Scenario{wireless.Ideal, wireless.Conservative} {
+			p := wireless.PlanOWN256(cfg, s)
+			sdm := 0
+			for _, ch := range p.Channels {
+				if ch.SDMShared {
+					sdm++
+				}
+			}
+			fmt.Printf("  %-13s mean %.3f pJ/bit, %d SDM-shared channels\n", s, p.MeanEPBpJ(), sdm)
+		}
+	}
+}
+
+func inventory() {
+	header("Photonic component inventory (paper §I scalability argument)")
+	rows := []struct {
+		label string
+		inv   photonic.Inventory
+	}{
+		{"SWMR 64x64", photonic.SWMRInventory(64)},
+		{"SWMR 1024x1024", photonic.SWMRInventory(1024)},
+		{"MWSR OptXB-64 (256 cores)", photonic.MWSRInventory(64)},
+		{"MWSR OptXB-256 (1024 cores)", photonic.MWSRInventory(256)},
+		{"OWN-256 (4 x 16-tile MWSR)", photonic.MWSRInventory(16).Scale(4)},
+		{"OWN-1024 (16 x 16-tile MWSR)", photonic.MWSRInventory(16).Scale(16)},
+	}
+	fmt.Printf("%-30s %12s %12s %12s %12s\n", "organization", "modulators", "detectors", "waveguides", "rings")
+	for _, r := range rows {
+		fmt.Printf("%-30s %12d %12d %12d %12d\n", r.label,
+			r.inv.Modulators, r.inv.Photodetectors, r.inv.Waveguides, r.inv.Rings)
+	}
+}

@@ -1,0 +1,45 @@
+// Linkbudget: the RF feasibility study of the paper's Section IV. Sweeps
+// the required OOK transmit power against distance and antenna
+// directivity (Figure 3), then checks the behavioral 65-nm transceiver
+// blocks against the paper's design points (Figure 4) and asks whether
+// the chain closes every OWN link class.
+package main
+
+import (
+	"fmt"
+
+	"ownsim/internal/rf"
+	"ownsim/internal/wireless"
+)
+
+func main() {
+	lb := rf.DefaultLinkBudget()
+
+	fmt.Println("required TX power (dBm), 32 Gb/s OOK at 90 GHz:")
+	fmt.Printf("%8s", "dist mm")
+	for _, g := range []float64{0, 5, 10} {
+		fmt.Printf("  %5.0f dBi", g)
+	}
+	fmt.Println()
+	for d := 10.0; d <= 60; d += 10 {
+		fmt.Printf("%8.0f", d)
+		for _, g := range []float64{0, 5, 10} {
+			fmt.Printf("  %9.2f", lb.RequiredTxDBm(d, 90, 32, g))
+		}
+		fmt.Println()
+	}
+
+	tr := rf.DefaultTransceiver()
+	fmt.Printf("\ntransceiver chain: PA P1dB %.2f dBm, Psat %.2f dBm, %.2f pJ/bit\n",
+		tr.PA.P1dBOutDBm(90), tr.PA.PsatDBm, tr.EnergyPerBitPJ())
+	fmt.Printf("oscillator phase noise @1MHz: analytic %.1f, simulated %.1f dBc/Hz\n",
+		tr.Osc.PhaseNoiseDBc(1e6), tr.Osc.MeasurePhaseNoise(1e6, 1))
+
+	fmt.Println("\ndoes the chain close each OWN-256 link class?")
+	for _, class := range []wireless.DistClass{wireless.SR, wireless.E2E, wireless.C2C} {
+		for _, dir := range []float64{0, 5} {
+			ok := tr.LinkCloses(class.NominalMM(), dir, lb)
+			fmt.Printf("  %-4s %2.0f mm, %2.0f dBi: closes=%v\n", class, class.NominalMM(), dir, ok)
+		}
+	}
+}

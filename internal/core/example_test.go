@@ -1,0 +1,37 @@
+package core_test
+
+import (
+	"fmt"
+
+	"ownsim/internal/core"
+	"ownsim/internal/fabric"
+	"ownsim/internal/traffic"
+	"ownsim/internal/wireless"
+)
+
+// Building the 256-core OWN architecture and inspecting its structure.
+func ExampleBuildOWN256() {
+	n := core.BuildOWN256(core.Params{})
+	wirelessRouters := 0
+	for _, r := range n.Routers {
+		if r.Cfg.NumPorts == core.NumPorts {
+			wirelessRouters++
+		}
+	}
+	fmt.Printf("%s: %d routers, %d with antennas, %d shared channels\n",
+		n.Name, len(n.Routers), wirelessRouters, len(n.Channels))
+	// Output:
+	// own256-config4-ideal: 64 routers, 12 with antennas, 140 shared channels
+}
+
+// Running a deterministic simulation through the system registry.
+func ExampleNewSystem() {
+	sys := core.NewSystem("own", 256, wireless.Config4, wireless.Ideal)
+	res := sys.Run(
+		fabric.TrafficSpec{Pattern: traffic.Uniform, Rate: 0.002, Seed: 7},
+		fabric.RunSpec{Warmup: 500, Measure: 2000},
+	)
+	fmt.Printf("drained=%v maxHops=%d (bound 4)\n", res.Drained, res.MaxHops)
+	// Output:
+	// drained=true maxHops=4 (bound 4)
+}

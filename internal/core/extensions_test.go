@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"ownsim/internal/fabric"
+	"ownsim/internal/power"
+	"ownsim/internal/traffic"
+	"ownsim/internal/wireless"
+)
+
+// TestReconfigChannelsRaiseDiagonalCapacity exercises the Table III
+// reserve channels (links 13-16): bonding them onto the C2C links doubles
+// the diagonal wireless rate, which lifts throughput for traffic that
+// concentrates on diagonal cluster pairs. Transpose does exactly that:
+// cluster 1's cores (top-right quadrant rows) exchange heavily with
+// cluster 3 across the diagonal.
+func TestReconfigChannelsRaiseDiagonalCapacity(t *testing.T) {
+	run := func(reconfig bool, load float64) fabric.Result {
+		n := BuildOWN256(Params{Reconfig: reconfig})
+		return n.Run(
+			fabric.TrafficSpec{Pattern: traffic.Transpose, Rate: load, Seed: 13, Policy: OWN256Policy},
+			fabric.RunSpec{Warmup: 1000, Measure: 5000},
+		)
+	}
+	const load = 0.006
+	base := run(false, load)
+	boosted := run(true, load)
+	if boosted.Throughput < base.Throughput {
+		t.Fatalf("reconfiguration channels should not hurt: base %v, reconfig %v",
+			base.Throughput, boosted.Throughput)
+	}
+	// At a load past the un-bonded diagonal capacity, the bonded build
+	// must deliver measurably more.
+	if boosted.Throughput < base.Throughput*1.05 && !base.Drained {
+		t.Fatalf("expected >=5%% gain at saturating transpose load: base %v (drained=%v), reconfig %v",
+			base.Throughput, base.Drained, boosted.Throughput)
+	}
+}
+
+func TestReconfigOnlyChangesC2C(t *testing.T) {
+	// Uniform traffic at low load: energy/packet shifts only through
+	// the C2C EPB averaging; the network must still drain and obey the
+	// hop bound.
+	n := BuildOWN256(Params{Reconfig: true, Meter: power.NewMeter(nil)})
+	res := n.Run(
+		fabric.TrafficSpec{Pattern: traffic.Uniform, Rate: 0.003, Seed: 14, Policy: OWN256Policy},
+		fabric.RunSpec{Warmup: 500, Measure: 3000},
+	)
+	if !res.Drained || res.MaxHops > 4 {
+		t.Fatalf("reconfig build broken: drained=%v hops=%d", res.Drained, res.MaxHops)
+	}
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNominalScenario checks the in-between Table III outlook end to end.
+func TestNominalScenario(t *testing.T) {
+	plan := wireless.PlanOWN256(wireless.Config4, wireless.Nominal)
+	ideal := wireless.PlanOWN256(wireless.Config4, wireless.Ideal)
+	cons := wireless.PlanOWN256(wireless.Config4, wireless.Conservative)
+	// 24 Gb/s channels sit between 32 and 16.
+	if got := plan.Channels[0].Band.BWGbps; got != 24 {
+		t.Fatalf("nominal BW = %v, want 24", got)
+	}
+	_ = ideal
+	_ = cons
+	n := BuildOWN256(Params{Scenario: wireless.Nominal, Meter: power.NewMeter(nil)})
+	res := n.Run(
+		fabric.TrafficSpec{Pattern: traffic.Uniform, Rate: 0.002, Seed: 15, Policy: OWN256Policy},
+		fabric.RunSpec{Warmup: 500, Measure: 3000},
+	)
+	if !res.Drained {
+		t.Fatal("nominal scenario failed to drain")
+	}
+	if res.Power.WirelessMW <= 0 {
+		t.Fatal("no wireless energy under nominal scenario")
+	}
+}
+
+// TestWorkloadTraces runs the future-work trace-driven path end to end on
+// OWN-256: a 5-point stencil and a recursive-doubling all-reduce must
+// complete with every packet delivered.
+func TestWorkloadTraces(t *testing.T) {
+	cases := []struct {
+		name  string
+		trace *traffic.Trace
+	}{
+		{"stencil", traffic.StencilTrace(256, 4, 400, 3)},
+		{"allreduce", traffic.AllReduceTrace(256, 0, 300)},
+	}
+	for _, tc := range cases {
+		n := BuildOWN256(Params{Meter: power.NewMeter(nil)})
+		res := n.RunTrace(tc.trace, 5, fabric.TrafficSpec{Policy: OWN256Policy}, 60000)
+		if !res.Drained {
+			t.Fatalf("%s: trace did not complete", tc.name)
+		}
+		if res.Packets != uint64(len(tc.trace.Entries)) {
+			t.Fatalf("%s: delivered %d packets, trace has %d", tc.name, res.Packets, len(tc.trace.Entries))
+		}
+		if res.MaxHops > 4 {
+			t.Fatalf("%s: hop bound violated: %d", tc.name, res.MaxHops)
+		}
+		if err := n.CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+	}
+}
+
+// TestWorkloadTraceOnCMesh cross-checks trace replay on a baseline.
+func TestWorkloadTraceOnCMesh(t *testing.T) {
+	tr := traffic.StencilTrace(256, 2, 500, 4)
+	sys := NewSystem("cmesh", 256, wireless.Config4, wireless.Ideal)
+	n := sys.Build(power.NewMeter(nil))
+	res := n.RunTrace(tr, 5, fabric.TrafficSpec{}, 60000)
+	if !res.Drained {
+		t.Fatal("stencil trace did not complete on CMESH")
+	}
+	if res.Packets != uint64(len(tr.Entries)) {
+		t.Fatalf("delivered %d of %d", res.Packets, len(tr.Entries))
+	}
+}
+
+// TestRequestReplyMixOnOWN runs the bimodal request/reply packet mix on
+// OWN-256: single-flit control packets and 5-flit data packets share the
+// hybrid fabric without protocol issues.
+func TestRequestReplyMixOnOWN(t *testing.T) {
+	sizes := traffic.RequestReply()
+	n := BuildOWN256(Params{Meter: power.NewMeter(nil)})
+	res := n.Run(
+		fabric.TrafficSpec{
+			Pattern: traffic.Uniform, Rate: 0.003, Seed: 41,
+			Policy: OWN256Policy, Sizes: &sizes,
+		},
+		fabric.RunSpec{Warmup: 500, Measure: 4000},
+	)
+	if !res.Drained {
+		t.Fatal("bimodal mix failed to drain")
+	}
+	if res.MaxHops > 4 {
+		t.Fatalf("hop bound violated: %d", res.MaxHops)
+	}
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"ownsim/internal/fabric"
+	"ownsim/internal/traffic"
+	"ownsim/internal/wireless"
+)
+
+func TestFailoverSingleChannel(t *testing.T) {
+	// Kill channel 0 (A3 -> B1, cluster 3 to cluster 1). Traffic must
+	// detour over a relay with at most 6 router hops and still drain.
+	n := BuildOWN256(Params{FailedChannels: []int{0}})
+	res := n.Run(
+		fabric.TrafficSpec{Pattern: traffic.Uniform, Rate: 0.003, Seed: 21, Policy: OWN256Policy},
+		fabric.RunSpec{Warmup: 1000, Measure: 5000},
+	)
+	if !res.Drained {
+		t.Fatal("failed to drain with one dead channel")
+	}
+	if res.MaxHops > 6 {
+		t.Fatalf("MaxHops = %d, want <= 6 (relay path)", res.MaxHops)
+	}
+	// Some packets must actually take the longer path.
+	if res.MaxHops < 5 {
+		t.Fatalf("MaxHops = %d; no packet seems to have been relayed", res.MaxHops)
+	}
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailoverAllDiagonals(t *testing.T) {
+	// All four C2C channels dead: every diagonal flow relays through an
+	// edge/short-range two-hop path.
+	n := BuildOWN256(Params{FailedChannels: []int{0, 1, 2, 3}})
+	res := n.Run(
+		fabric.TrafficSpec{Pattern: traffic.Uniform, Rate: 0.002, Seed: 22, Policy: OWN256Policy},
+		fabric.RunSpec{Warmup: 1000, Measure: 5000},
+	)
+	if !res.Drained {
+		t.Fatal("failed to drain with all diagonals dead")
+	}
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailoverNoDeadlockUnderLoad(t *testing.T) {
+	// Push a degraded network past its reduced capacity: forward
+	// progress must continue (the descending VC-rank discipline keeps
+	// the relay path acyclic).
+	n := BuildOWN256(Params{FailedChannels: []int{0, 1}})
+	res := n.Run(
+		fabric.TrafficSpec{Pattern: traffic.Uniform, Rate: 0.02, Seed: 23, Policy: OWN256Policy},
+		fabric.RunSpec{Warmup: 3000, Measure: 3000, DrainBudget: 1},
+	)
+	if res.Packets == 0 {
+		t.Fatal("no forward progress: relay deadlock suspected")
+	}
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailoverDegradesCapacityGracefully(t *testing.T) {
+	run := func(failed []int) float64 {
+		n := BuildOWN256(Params{FailedChannels: failed})
+		res := n.Run(
+			fabric.TrafficSpec{Pattern: traffic.Uniform, Rate: 0.006, Seed: 24, Policy: OWN256Policy},
+			fabric.RunSpec{Warmup: 1000, Measure: 5000},
+		)
+		return res.Throughput
+	}
+	healthy := run(nil)
+	degraded := run([]int{0, 2}) // one diagonal per direction pair
+	if degraded > healthy*1.02 {
+		t.Fatalf("dead channels cannot raise throughput: %v vs %v", degraded, healthy)
+	}
+	if degraded < healthy*0.4 {
+		t.Fatalf("relaying should retain most capacity: %v vs %v", degraded, healthy)
+	}
+}
+
+func TestFailoverInvalidChannelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BuildOWN256(Params{FailedChannels: []int{99}})
+}
+
+func TestFailoverIsolatedClusterPanics(t *testing.T) {
+	// Killing every channel out of cluster 0 (0->1 is 7, 0->2 is 2,
+	// 0->3 is 8) leaves no relay: the build must refuse.
+	var ids []int
+	for _, l := range wireless.OWN256Links() {
+		if l.SrcCluster == 0 {
+			ids = append(ids, l.ID)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected unroutable panic")
+		}
+	}()
+	BuildOWN256(Params{FailedChannels: ids})
+}
+
+func TestFailoverTables(t *testing.T) {
+	failed, relay := failoverTables([]int{0}) // 3 -> 1
+	if !failed[3][1] || failed[1][3] {
+		t.Fatal("failure matrix wrong")
+	}
+	r := relay[3][1]
+	if r == 3 || r == 1 {
+		t.Fatalf("relay %d must be a third cluster", r)
+	}
+	// Both legs of the relay path are alive.
+	if failed[3][r] || failed[r][1] {
+		t.Fatal("relay path uses a dead channel")
+	}
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"ownsim/internal/fabric"
+	"ownsim/internal/power"
+	"ownsim/internal/stats"
+	"ownsim/internal/topology"
+	"ownsim/internal/traffic"
+	"ownsim/internal/wireless"
+)
+
+// midLoad returns the half-saturation operating point used for the power
+// figures. The conservative scenario halves wireless channel bandwidth,
+// halving OWN's capacity, so its operating point is halved too.
+func midLoad(cores int, scen wireless.Scenario) float64 {
+	l := 0.5 * topology.UniformSaturationLoad(cores)
+	if scen == wireless.Conservative {
+		l /= 2
+	}
+	return l
+}
+
+// Fig5Row is one bar of Figure 5: average wireless link power of OWN-256
+// under random traffic for one configuration and scenario.
+type Fig5Row struct {
+	Scenario wireless.Scenario
+	Config   wireless.Config
+	// AvgChannelMW is the measured per-channel wireless link power.
+	AvgChannelMW float64
+	// PlanMeanEPBpJ is the analytic plan-level energy/bit for
+	// cross-checking.
+	PlanMeanEPBpJ float64
+}
+
+// Figure5 measures the average wireless link power for the four Table IV
+// configurations under both Table III scenarios (OWN-256, uniform random
+// traffic at half saturation).
+func Figure5(b Budget) []Fig5Row {
+	type job struct {
+		scen wireless.Scenario
+		cfg  wireless.Config
+	}
+	var jobs []job
+	for _, scen := range []wireless.Scenario{wireless.Ideal, wireless.Conservative} {
+		for _, cfg := range wireless.AllConfigs() {
+			jobs = append(jobs, job{scen, cfg})
+		}
+	}
+	rows := make([]Fig5Row, len(jobs))
+	ParallelMap(len(jobs), func(i int) {
+		j := jobs[i]
+		sys := NewSystem("own", 256, j.cfg, j.scen)
+		res := sys.Run(
+			fabric.TrafficSpec{Pattern: traffic.Uniform, Rate: midLoad(256, j.scen), Seed: b.Seed},
+			fabric.RunSpec{Warmup: b.Warmup, Measure: b.Measure},
+		)
+		rows[i] = Fig5Row{
+			Scenario:      j.scen,
+			Config:        j.cfg,
+			AvgChannelMW:  res.AvgWirelessChannelMW,
+			PlanMeanEPBpJ: wireless.PlanOWN256(j.cfg, j.scen).MeanEPBpJ(),
+		}
+	})
+	return rows
+}
+
+// Fig6Row is one stacked bar of Figure 6: the power breakdown of one
+// architecture at 256 cores under uniform random traffic.
+type Fig6Row struct {
+	Label  string
+	Power  power.Breakdown
+	Result fabric.Result
+}
+
+// Figure6 measures total power for CMESH, wireless-CMESH, OptXB, p-Clos
+// and OWN-256 in all four configurations (ideal scenario), at the shared
+// half-saturation uniform load.
+func Figure6(b Budget) []Fig6Row {
+	type job struct {
+		label string
+		sys   System
+	}
+	var jobs []job
+	for _, cfg := range wireless.AllConfigs() {
+		jobs = append(jobs, job{"own-" + cfg.String(), NewSystem("own", 256, cfg, wireless.Ideal)})
+	}
+	for _, name := range []string{"wcmesh", "optxb", "pclos", "cmesh"} {
+		jobs = append(jobs, job{name, NewSystem(name, 256, wireless.Config4, wireless.Ideal)})
+	}
+	rows := make([]Fig6Row, len(jobs))
+	load := midLoad(256, wireless.Ideal)
+	ParallelMap(len(jobs), func(i int) {
+		res := jobs[i].sys.Run(
+			fabric.TrafficSpec{Pattern: traffic.Uniform, Rate: load, Seed: b.Seed},
+			fabric.RunSpec{Warmup: b.Warmup, Measure: b.Measure},
+		)
+		rows[i] = Fig6Row{Label: jobs[i].label, Power: res.Power, Result: res}
+	})
+	return rows
+}
+
+// Fig7aRow is one bar group of Figure 7(a): saturation throughput per
+// synthetic pattern per architecture at 256 cores.
+type Fig7aRow struct {
+	Pattern    traffic.Pattern
+	SystemName string
+	Throughput float64 // accepted flits/node/cycle at saturation
+}
+
+// Figure7a sweeps every paper pattern on every architecture.
+func Figure7a(b Budget) []Fig7aRow {
+	patterns := traffic.AllPaperPatterns()
+	names := SystemNames()
+	rows := make([]Fig7aRow, 0, len(patterns)*len(names))
+	for _, pat := range patterns {
+		for _, name := range names {
+			rows = append(rows, Fig7aRow{Pattern: pat, SystemName: name})
+		}
+	}
+	ParallelMap(len(rows), func(i int) {
+		sys := NewSystem(rows[i].SystemName, 256, wireless.Config4, wireless.Ideal)
+		// Serialize the inner sweep (we are already parallel here).
+		loads := SweepLoads(256, b.Loads)
+		var best float64
+		for j, l := range loads {
+			res := sys.Run(
+				fabric.TrafficSpec{Pattern: rows[i].Pattern, Rate: l, Seed: b.Seed + uint64(j)},
+				fabric.RunSpec{Warmup: b.Warmup, Measure: b.Measure},
+			)
+			if res.Throughput > best {
+				best = res.Throughput
+			}
+		}
+		rows[i].Throughput = best
+	})
+	return rows
+}
+
+// Fig7bcSeries is one curve of Figure 7(b) or (c): latency vs offered
+// load for one architecture.
+type Fig7bcSeries struct {
+	SystemName string
+	Points     []stats.CurvePoint
+	// SaturationLoad is the interpolated 3x-zero-load latency crossing.
+	SaturationLoad float64
+	// CapacityLoad is the highest load where accepted throughput still
+	// tracks offered load (the latency-curve knee).
+	CapacityLoad float64
+}
+
+// Figure7bc produces the latency-load curves for the given pattern
+// (uniform for 7b, bit reversal for 7c) at 256 cores.
+func Figure7bc(pattern traffic.Pattern, b Budget) []Fig7bcSeries {
+	names := SystemNames()
+	series := make([]Fig7bcSeries, len(names))
+	ParallelMap(len(names), func(i int) {
+		sys := NewSystem(names[i], 256, wireless.Config4, wireless.Ideal)
+		pts := make([]stats.CurvePoint, 0, b.Loads)
+		for j, l := range SweepLoads(256, b.Loads) {
+			res := sys.Run(
+				fabric.TrafficSpec{Pattern: pattern, Rate: l, Seed: b.Seed + uint64(j)},
+				fabric.RunSpec{Warmup: b.Warmup, Measure: b.Measure},
+			)
+			pts = append(pts, stats.CurvePoint{
+				Load: l, Latency: res.AvgLatency, Throughput: res.Throughput, Saturated: !res.Drained,
+			})
+		}
+		series[i] = Fig7bcSeries{
+			SystemName:     names[i],
+			Points:         pts,
+			SaturationLoad: stats.SaturationLoad(pts, 3.0),
+			CapacityLoad:   stats.CapacityLoad(pts, 0.92),
+		}
+	})
+	return series
+}
+
+// Fig8Row is one group of Figure 8: throughput and power per packet for
+// one architecture and pattern at 1024 cores.
+type Fig8Row struct {
+	SystemName string
+	Pattern    traffic.Pattern
+	Throughput float64
+	// EnergyPerPacketPJ is the paper's 8(b) metric ("average power
+	// consumed per packet").
+	EnergyPerPacketPJ float64
+	Power             power.Breakdown
+}
+
+// Figure8 evaluates the 1024-core architectures on select patterns at a
+// shared sub-saturation load.
+func Figure8(b Budget) []Fig8Row {
+	patterns := []traffic.Pattern{traffic.Uniform, traffic.BitReversal, traffic.Transpose}
+	names := SystemNames()
+	rows := make([]Fig8Row, 0, len(patterns)*len(names))
+	for _, pat := range patterns {
+		for _, name := range names {
+			rows = append(rows, Fig8Row{SystemName: name, Pattern: pat})
+		}
+	}
+	// Permutation patterns concentrate load; stay well below uniform
+	// saturation.
+	load := 0.3 * topology.UniformSaturationLoad(1024)
+	ParallelMap(len(rows), func(i int) {
+		sys := NewSystem(rows[i].SystemName, 1024, wireless.Config4, wireless.Ideal)
+		res := sys.Run(
+			fabric.TrafficSpec{Pattern: rows[i].Pattern, Rate: load, Seed: b.Seed},
+			fabric.RunSpec{Warmup: b.Warmup, Measure: b.Measure},
+		)
+		rows[i].Throughput = res.Throughput
+		rows[i].EnergyPerPacketPJ = EnergyPerPacketPJ(res, 1024)
+		rows[i].Power = res.Power
+	})
+	return rows
+}
+
+// EnergyPerPacketPJ converts a run's average power into energy per
+// delivered packet: total mW (= pJ/ns) divided by the packet delivery
+// rate per ns.
+func EnergyPerPacketPJ(res fabric.Result, cores int) float64 {
+	if res.Throughput == 0 {
+		return 0
+	}
+	pktsPerCycle := res.Throughput * float64(cores) / float64(topology.PktFlits)
+	pktsPerNS := pktsPerCycle * topology.ClockGHz
+	return res.Power.TotalMW() / pktsPerNS
+}

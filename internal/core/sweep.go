@@ -1,0 +1,104 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"ownsim/internal/fabric"
+	"ownsim/internal/stats"
+	"ownsim/internal/topology"
+	"ownsim/internal/traffic"
+)
+
+// Budget sets simulation lengths; figure generators and benchmarks pick
+// different budgets.
+type Budget struct {
+	Warmup  uint64
+	Measure uint64
+	// Loads is the number of sweep points between 10% and 120% of the
+	// theoretical uniform saturation load.
+	Loads int
+	// Seed decorrelates repeated sweeps.
+	Seed uint64
+}
+
+// FullBudget is the default used by cmd/figures.
+func FullBudget() Budget {
+	return Budget{Warmup: 3000, Measure: 12000, Loads: 8, Seed: 1}
+}
+
+// QuickBudget is a reduced budget for tests and benchmarks; trends are
+// preserved but confidence intervals are wider.
+func QuickBudget() Budget {
+	return Budget{Warmup: 800, Measure: 2500, Loads: 5, Seed: 1}
+}
+
+// ParallelMap runs f(0..n-1) across GOMAXPROCS workers. Every simulation
+// is an independent single-threaded network, so sweeps parallelize
+// perfectly — this is where the repository uses host parallelism.
+func ParallelMap(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// SweepLoads returns the load axis for a system: Loads points from 10%
+// to 120% of the equalized uniform saturation load for the core count.
+func SweepLoads(cores, points int) []float64 {
+	sat := topology.UniformSaturationLoad(cores)
+	loads := make([]float64, points)
+	for i := range loads {
+		frac := 0.1 + (1.2-0.1)*float64(i)/float64(points-1)
+		loads[i] = sat * frac
+	}
+	return loads
+}
+
+// Sweep runs the system across the given loads in parallel and returns
+// the latency/throughput curve (the paper's Figure 7b/c data).
+func Sweep(sys System, pattern traffic.Pattern, loads []float64, b Budget) []stats.CurvePoint {
+	points := make([]stats.CurvePoint, len(loads))
+	ParallelMap(len(loads), func(i int) {
+		res := sys.Run(
+			fabric.TrafficSpec{Pattern: pattern, Rate: loads[i], Seed: b.Seed + uint64(i)},
+			fabric.RunSpec{Warmup: b.Warmup, Measure: b.Measure},
+		)
+		points[i] = stats.CurvePoint{
+			Load:       loads[i],
+			Latency:    res.AvgLatency,
+			Throughput: res.Throughput,
+			Saturated:  !res.Drained,
+		}
+	})
+	return points
+}
+
+// SaturationThroughput sweeps to saturation and reports the accepted
+// throughput plateau (the paper's Figure 7a / 8a metric).
+func SaturationThroughput(sys System, pattern traffic.Pattern, b Budget) float64 {
+	loads := SweepLoads(sys.Cores, b.Loads)
+	return stats.SaturationThroughput(Sweep(sys, pattern, loads, b))
+}

@@ -1,0 +1,180 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"ownsim/internal/sim"
+)
+
+func TestFFTImpulse(t *testing.T) {
+	x := make([]complex128, 8)
+	x[0] = 1
+	FFT(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1 (flat spectrum of impulse)", i, v)
+		}
+	}
+}
+
+func TestFFTSinePeak(t *testing.T) {
+	const n = 256
+	x := make([]complex128, n)
+	k := 16 // bin-aligned complex exponential
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*float64(k*i)/n))
+	}
+	FFT(x)
+	for i, v := range x {
+		mag := cmplx.Abs(v)
+		if i == k {
+			if math.Abs(mag-n) > 1e-9 {
+				t.Fatalf("peak bin %d mag %v, want %d", i, mag, n)
+			}
+		} else if mag > 1e-9 {
+			t.Fatalf("leak at bin %d: %v", i, mag)
+		}
+	}
+}
+
+func TestFFTIFFTIdentityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		n := 64
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+			orig[i] = x[i]
+		}
+		FFT(x)
+		IFFT(x)
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	rng := sim.NewRNG(7)
+	const n = 128
+	x := make([]complex128, n)
+	var timePower float64
+	for i := range x {
+		x[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+		timePower += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+	}
+	FFT(x)
+	var freqPower float64
+	for _, v := range x {
+		freqPower += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(freqPower/float64(n)-timePower) > 1e-9*timePower {
+		t.Fatalf("Parseval violated: time %v freq/N %v", timePower, freqPower/float64(n))
+	}
+}
+
+func TestFFTNonPowerOfTwoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FFT(make([]complex128, 6))
+}
+
+func TestHannWindow(t *testing.T) {
+	w, p := Hann(64)
+	if w[0] > 1e-12 || w[63] > 1e-12 {
+		t.Fatal("Hann endpoints should be ~0")
+	}
+	mid := w[31]
+	if mid < 0.95 || mid > 1.0 {
+		t.Fatalf("Hann midpoint %v", mid)
+	}
+	if p <= 0 {
+		t.Fatal("window power must be positive")
+	}
+}
+
+func TestWelchTonePower(t *testing.T) {
+	// A unit-power complex tone at +fs/8 should concentrate its power
+	// around that frequency; integrated PSD ~ 1.
+	const fs = 1e6
+	const n = 8192
+	const segLen = 512
+	x := make([]complex128, n)
+	f0 := fs / 8
+	for i := range x {
+		ph := 2 * math.Pi * f0 * float64(i) / fs
+		x[i] = cmplx.Exp(complex(0, ph))
+	}
+	psd := Welch(x, fs, segLen)
+	var total float64
+	binW := fs / segLen
+	peakIdx, peak := 0, 0.0
+	for i, p := range psd {
+		total += p * binW
+		if p > peak {
+			peak, peakIdx = p, i
+		}
+	}
+	if math.Abs(total-1) > 0.05 {
+		t.Fatalf("integrated PSD = %v, want ~1", total)
+	}
+	if got := BinFreq(peakIdx, segLen, fs); math.Abs(got-f0) > binW {
+		t.Fatalf("peak at %v Hz, want %v", got, f0)
+	}
+}
+
+func TestPSDAt(t *testing.T) {
+	psd := make([]float64, 8)
+	psd[6] = 42 // bin 6 -> freq (6-4)/8*fs = fs/4
+	if got := PSDAt(psd, 0.25*1000, 1000); got != 42 {
+		t.Fatalf("PSDAt = %v, want 42", got)
+	}
+	// Clamping at the edges must not panic.
+	_ = PSDAt(psd, 1e9, 1000)
+	_ = PSDAt(psd, -1e9, 1000)
+}
+
+func TestDBRoundTrip(t *testing.T) {
+	for _, v := range []float64{0.001, 1, 42, 1e6} {
+		if math.Abs(FromDB(DB(v))-v) > 1e-9*v {
+			t.Fatalf("dB round trip failed for %v", v)
+		}
+	}
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	x := make([]complex128, 1024)
+	rng := sim.NewRNG(1)
+	for i := range x {
+		x[i] = complex(rng.Float64(), rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkWelchPSD(b *testing.B) {
+	rng := sim.NewRNG(2)
+	x := make([]complex128, 8192)
+	for i := range x {
+		x[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Welch(x, 1e6, 512)
+	}
+}

@@ -1,0 +1,371 @@
+// Package fabric assembles complete simulated networks: routers, wires,
+// traffic sources, ejection sinks, the statistics collector and the power
+// meter, all driven by one sim.Engine. Topology packages (CMESH, OptXB,
+// p-Clos, wireless-CMESH) and the OWN core build on it.
+//
+// A Network is single-threaded; run many Networks concurrently (one per
+// goroutine) for parameter sweeps — see the core package's sweep runner.
+package fabric
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ownsim/internal/noc"
+	"ownsim/internal/power"
+	"ownsim/internal/router"
+	"ownsim/internal/sbus"
+	"ownsim/internal/sim"
+	"ownsim/internal/stats"
+	"ownsim/internal/traffic"
+)
+
+// Network is one assembled NoC instance.
+type Network struct {
+	// Name identifies the topology instance in reports.
+	Name string
+	// NumCores is the number of terminals.
+	NumCores int
+
+	Eng       *sim.Engine
+	Meter     *power.Meter
+	Collector *stats.Collector
+
+	Routers []*router.Router
+	Sources []*router.Source
+	Sinks   []*router.Sink
+	// Channels tracks the shared media (photonic subchannels, wireless
+	// links) for telemetry.
+	Channels []*sbus.Channel
+	// Edges records inter-router connectivity for visualization.
+	Edges []Edge
+
+	// Diameter, when set by the topology, bounds packet hop counts;
+	// CheckInvariants verifies MaxHops against it.
+	Diameter int
+}
+
+// New creates an empty network shell. Cores (terminals) are added with
+// AddTerminal; the collector is installed by SetupTraffic.
+func New(name string, numCores int, meter *power.Meter) *Network {
+	return &Network{
+		Name:     name,
+		NumCores: numCores,
+		Eng:      sim.NewEngine(),
+		Meter:    meter,
+		Sources:  make([]*router.Source, numCores),
+		Sinks:    make([]*router.Sink, numCores),
+	}
+}
+
+// AddRouter creates a router, registers it with the engine, and tracks it.
+// The meter is inherited from the network.
+func (n *Network) AddRouter(cfg router.Config) *router.Router {
+	cfg.Meter = n.Meter
+	r := router.New(cfg)
+	n.Routers = append(n.Routers, r)
+	n.Eng.Register(sim.PhaseCompute, r)
+	return r
+}
+
+// LinkSpec describes one wire between two ports.
+type LinkSpec struct {
+	// Delay is the forward latency (ST+LT) in cycles.
+	Delay int
+	// CreditDelay is the reverse credit latency; 0 means Delay.
+	CreditDelay int
+	// SerializeCy is the per-flit channel occupancy at the upstream
+	// output port (bisection-bandwidth equalization knob).
+	SerializeCy int
+	// LengthMM, when > 0, charges electrical link energy per flit.
+	LengthMM float64
+	// Photonic, when true, charges photonic link energy per flit
+	// instead (used by the p-Clos inter-switch links).
+	Photonic bool
+}
+
+func (l LinkSpec) creditDelay() int {
+	if l.CreditDelay > 0 {
+		return l.CreditDelay
+	}
+	return l.Delay
+}
+
+// Connect wires output port aPort of router a to input port bPort of
+// router b. Buffer depth (credits) is taken from b's configuration.
+func (n *Network) Connect(a *router.Router, aPort int, b *router.Router, bPort int, spec LinkSpec) *noc.Wire {
+	w := noc.NewWire(a, aPort, b, bPort, spec.Delay, spec.creditDelay())
+	m := n.Meter
+	switch {
+	case spec.Photonic:
+		w.OnFlit = func(*noc.Flit) { m.Photonic() }
+	case spec.LengthMM > 0:
+		mm := spec.LengthMM
+		w.OnFlit = func(*noc.Flit) { m.ElecLink(mm) }
+	}
+	a.ConnectOutput(aPort, w, b.Cfg.BufDepth, spec.SerializeCy)
+	b.ConnectInput(bPort, w)
+	n.Eng.Register(sim.PhaseDelivery, w)
+	kind := "elec"
+	if spec.Photonic {
+		kind = "photonic"
+	}
+	n.NoteEdge(a.Cfg.ID, b.Cfg.ID, kind)
+	return w
+}
+
+// Edge is one directed inter-router connection for visualization.
+type Edge struct {
+	// From and To are router IDs.
+	From, To int
+	// Kind is "elec", "photonic" or "wireless".
+	Kind string
+}
+
+// NoteEdge records connectivity for DOT export; Connect and the
+// photonic/wireless builders call it.
+func (n *Network) NoteEdge(from, to int, kind string) {
+	n.Edges = append(n.Edges, Edge{From: from, To: to, Kind: kind})
+}
+
+// AddTerminal attaches core coreID to router r: a source feeding input
+// port inPort and a sink fed from output port outPort. Terminal links are
+// full-width single-cycle wires (injection/ejection are not the bottleneck
+// in any of the paper's topologies).
+func (n *Network) AddTerminal(coreID int, r *router.Router, inPort, outPort int) {
+	n.AddTerminalSplit(coreID, r, inPort, r, outPort)
+}
+
+// AddTerminalSplit attaches a core whose injection and ejection sides sit
+// on different routers (the unfolded p-Clos attaches sources to ingress
+// switches and sinks to egress switches).
+func (n *Network) AddTerminalSplit(coreID int, in *router.Router, inPort int, out *router.Router, outPort int) {
+	if n.Sources[coreID] != nil {
+		panic(fmt.Sprintf("fabric: terminal %d added twice", coreID))
+	}
+	src := router.NewSource(coreID, nil, in.Cfg.NumVCs, in.Cfg.BufDepth)
+	wIn := noc.NewWire(src, 0, in, inPort, 1, 1)
+	src.SetConduit(wIn)
+	in.ConnectInput(inPort, wIn)
+
+	snk := router.NewSink(coreID)
+	// Sinks must tick before the wires that feed them (delivery phase
+	// registration order).
+	n.Eng.Register(sim.PhaseDelivery, snk)
+	wOut := noc.NewWire(out, outPort, snk, 0, 1, 1)
+	out.ConnectOutput(outPort, wOut, out.Cfg.BufDepth, 1)
+	snk.SetUpstream(wOut)
+
+	n.Eng.Register(sim.PhaseDelivery, wIn)
+	n.Eng.Register(sim.PhaseDelivery, wOut)
+	n.Eng.Register(sim.PhaseCompute, src)
+
+	n.Sources[coreID] = src
+	n.Sinks[coreID] = snk
+}
+
+// TrafficSpec parameterizes a run's offered load.
+type TrafficSpec struct {
+	Pattern traffic.Pattern
+	// Rate is offered load in flits/node/cycle.
+	Rate float64
+	// PktFlits is the packet length (the paper-standard 5 unless set).
+	PktFlits int
+	// Seed decorrelates runs.
+	Seed uint64
+	// Classify assigns traffic classes (VC disciplines); may be nil.
+	Classify traffic.Classifier
+	// Policy restricts injection VCs per packet; may be nil.
+	Policy router.VCPolicy
+	// Sizes switches to a bimodal packet-length mix (request/reply
+	// extension); nil keeps fixed PktFlits packets.
+	Sizes *traffic.SizeDist
+}
+
+// RunSpec sets the measurement methodology.
+type RunSpec struct {
+	Warmup  uint64
+	Measure uint64
+	// DrainBudget bounds the drain phase; 0 means 4x Measure.
+	DrainBudget uint64
+}
+
+func (r RunSpec) drain() uint64 {
+	if r.DrainBudget > 0 {
+		return r.DrainBudget
+	}
+	return 4 * r.Measure
+}
+
+// Result is the outcome of one measured run.
+type Result struct {
+	stats.Summary
+	// Drained reports whether all measured packets ejected within the
+	// drain budget; false indicates operation beyond saturation.
+	Drained bool
+	// Power is the power breakdown over the full simulated time.
+	Power power.Breakdown
+	// AvgWirelessChannelMW is the paper's Figure 5 metric.
+	AvgWirelessChannelMW float64
+}
+
+// Run attaches traffic, simulates warmup+measure, drains, and reports.
+// It can be called once per Network instance.
+func (n *Network) Run(ts TrafficSpec, rs RunSpec) Result {
+	if ts.PktFlits == 0 {
+		ts.PktFlits = 5
+	}
+	col := stats.NewCollector(n.NumCores, rs.Warmup, rs.Warmup+rs.Measure)
+	n.Collector = col
+	for id, src := range n.Sources {
+		if src == nil {
+			panic(fmt.Sprintf("fabric: terminal %d missing", id))
+		}
+		gen := traffic.NewBernoulli(id, n.NumCores, ts.Pattern, ts.Rate, ts.PktFlits, ts.Seed, ts.Classify)
+		if ts.Sizes != nil {
+			gen.SetSizes(*ts.Sizes)
+		}
+		gen.MeasureFrom = rs.Warmup
+		gen.MeasureTo = rs.Warmup + rs.Measure
+		src.Gen = gen
+		src.Policy = ts.Policy
+		src.OnAccepted = col.OnCreated
+		snk := n.Sinks[id]
+		snk.OnPacket = col.OnEjected
+	}
+	n.Eng.Run(rs.Warmup + rs.Measure)
+	drained := n.Eng.RunUntil(func() bool { return col.Pending() == 0 }, rs.drain())
+	res := Result{
+		Summary: col.Summary(),
+		Drained: drained,
+	}
+	if n.Meter != nil {
+		res.Power = n.Meter.Report(n.Eng.Cycle())
+		res.AvgWirelessChannelMW = n.Meter.WirelessAvgChannelMW(n.Eng.Cycle())
+	}
+	return res
+}
+
+// RunTrace replays a workload trace (the paper's future-work "real
+// workloads" path) instead of open-loop synthetic traffic: every core
+// replays its slice of the trace, and the simulation runs until all
+// packets are delivered or the cycle budget expires. The returned
+// Summary's latency covers every packet; Drained reports completion.
+func (n *Network) RunTrace(tr *traffic.Trace, pktFlits int, ts TrafficSpec, budget uint64) Result {
+	if pktFlits <= 0 {
+		pktFlits = 5
+	}
+	if err := tr.Validate(n.NumCores); err != nil {
+		panic(err)
+	}
+	col := stats.NewCollector(n.NumCores, 0, budget)
+	n.Collector = col
+	gens := tr.PerSource(n.NumCores, pktFlits, ts.Classify)
+	for id, src := range n.Sources {
+		if src == nil {
+			panic(fmt.Sprintf("fabric: terminal %d missing", id))
+		}
+		gens[id].MeasureFrom, gens[id].MeasureTo = 0, budget
+		src.Gen = gens[id]
+		src.Policy = ts.Policy
+		src.OnAccepted = col.OnCreated
+		n.Sinks[id].OnPacket = col.OnEjected
+	}
+	done := func() bool {
+		if col.Pending() > 0 {
+			return false
+		}
+		for _, g := range gens {
+			if !g.Done() {
+				return false
+			}
+		}
+		return true
+	}
+	drained := n.Eng.RunUntil(done, budget)
+	res := Result{Summary: col.Summary(), Drained: drained}
+	if n.Meter != nil {
+		res.Power = n.Meter.Report(n.Eng.Cycle())
+		res.AvgWirelessChannelMW = n.Meter.WirelessAvgChannelMW(n.Eng.Cycle())
+	}
+	return res
+}
+
+// CheckInvariants validates every router and the hop bound; tests call it
+// after Run.
+func (n *Network) CheckInvariants() error {
+	for _, r := range n.Routers {
+		if err := r.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	if n.Collector != nil && n.Diameter > 0 {
+		if mh := n.Collector.Summary().MaxHops; mh > n.Diameter {
+			return fmt.Errorf("fabric %s: packet exceeded diameter: %d hops > %d", n.Name, mh, n.Diameter)
+		}
+	}
+	return nil
+}
+
+// TrackChannel registers a shared channel for telemetry; the photonic
+// and wireless builders call it.
+func (n *Network) TrackChannel(ch *sbus.Channel) {
+	n.Channels = append(n.Channels, ch)
+}
+
+// Telemetry renders the top-N busiest shared channels with utilization,
+// token overhead and credit-stall counts — the first place to look when
+// a workload saturates.
+func (n *Network) Telemetry(topN int) string {
+	cycles := n.Eng.Cycle()
+	statsList := make([]sbus.Stats, 0, len(n.Channels))
+	for _, ch := range n.Channels {
+		statsList = append(statsList, ch.Stats())
+	}
+	sort.Slice(statsList, func(i, j int) bool { return statsList[i].BusyCy > statsList[j].BusyCy })
+	if topN > len(statsList) {
+		topN = len(statsList)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "top %d of %d shared channels by utilization (over %d cycles):\n", topN, len(statsList), cycles)
+	fmt.Fprintf(&b, "%-24s %8s %6s %10s %12s\n", "channel", "flits", "util", "tokenHops", "creditStall")
+	for _, st := range statsList[:topN] {
+		fmt.Fprintf(&b, "%-24s %8d %5.1f%% %10d %12d\n",
+			st.Name, st.Transmitted, 100*st.Utilization(cycles), st.TokenMoves, st.CreditStallCy)
+	}
+	return b.String()
+}
+
+// DOT renders the router-level topology as a Graphviz digraph: electrical
+// links solid, photonic links blue, wireless links red dashed. Pipe to
+// `dot -Tsvg` for a picture of the architecture.
+func (n *Network) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n", n.Name)
+	for _, r := range n.Routers {
+		fmt.Fprintf(&b, "  r%d [label=\"R%d (radix %d)\"];\n", r.Cfg.ID, r.Cfg.ID, r.Cfg.NumPorts)
+	}
+	for _, e := range n.Edges {
+		attr := ""
+		switch e.Kind {
+		case "photonic":
+			attr = " [color=blue]"
+		case "wireless":
+			attr = " [color=red, style=dashed]"
+		}
+		fmt.Fprintf(&b, "  r%d -> r%d%s;\n", e.From, e.To, attr)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// BufferedFlits sums buffered flits across all routers (zero after a
+// successful drain of a stopped workload).
+func (n *Network) BufferedFlits() int {
+	total := 0
+	for _, r := range n.Routers {
+		total += r.BufferedFlits()
+	}
+	return total
+}

@@ -1,0 +1,84 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeFlitsSingle(t *testing.T) {
+	p := &Packet{ID: 1, NumFlits: 1}
+	fl := MakeFlits(p)
+	if len(fl) != 1 {
+		t.Fatalf("len = %d", len(fl))
+	}
+	if fl[0].Type != HeadTail || !fl[0].IsHead() || !fl[0].IsTail() {
+		t.Fatalf("single flit should be HeadTail, got %v", fl[0].Type)
+	}
+}
+
+func TestMakeFlitsMulti(t *testing.T) {
+	p := &Packet{ID: 2, NumFlits: 5}
+	fl := MakeFlits(p)
+	if len(fl) != 5 {
+		t.Fatalf("len = %d", len(fl))
+	}
+	if fl[0].Type != Head {
+		t.Fatalf("flit 0 = %v, want head", fl[0].Type)
+	}
+	for i := 1; i < 4; i++ {
+		if fl[i].Type != Body {
+			t.Fatalf("flit %d = %v, want body", i, fl[i].Type)
+		}
+	}
+	if fl[4].Type != Tail {
+		t.Fatalf("flit 4 = %v, want tail", fl[4].Type)
+	}
+	for i, f := range fl {
+		if f.Seq != i || f.Pkt != p {
+			t.Fatalf("flit %d has Seq %d / wrong packet", i, f.Seq)
+		}
+	}
+}
+
+func TestMakeFlitsProperties(t *testing.T) {
+	f := func(n uint8) bool {
+		size := int(n%32) + 1
+		p := &Packet{NumFlits: size}
+		fl := MakeFlits(p)
+		heads, tails := 0, 0
+		for _, fx := range fl {
+			if fx.IsHead() {
+				heads++
+			}
+			if fx.IsTail() {
+				tails++
+			}
+		}
+		return heads == 1 && tails == 1 && len(fl) == size
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPacketLatency(t *testing.T) {
+	p := &Packet{CreatedAt: 10, InjectedAt: 15, EjectedAt: 70}
+	if p.Latency() != 60 {
+		t.Fatalf("Latency = %d, want 60", p.Latency())
+	}
+	if p.NetworkLatency() != 55 {
+		t.Fatalf("NetworkLatency = %d, want 55", p.NetworkLatency())
+	}
+}
+
+func TestFlitTypeString(t *testing.T) {
+	cases := map[FlitType]string{
+		Head: "head", Body: "body", Tail: "tail", HeadTail: "headtail",
+		FlitType(42): "FlitType(42)",
+	}
+	for ft, want := range cases {
+		if got := ft.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ft, got, want)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package noc
+
+// Wire is a pipelined point-to-point electrical link with a constant
+// forward (flit) delay and reverse (credit) delay, both in cycles.
+//
+// Wires are registered in the engine's Delivery phase. A flit handed to
+// Send during the Compute phase of cycle c is delivered to the downstream
+// FlitReceiver during the Delivery phase of cycle c+Delay, i.e. it becomes
+// visible to the downstream router's pipeline at cycle c+Delay. The same
+// holds for credits in the reverse direction.
+//
+// Delay must cover switch traversal plus link traversal; topology builders
+// use 2+extra so that the canonical 5-stage router pipeline (RC, VCA, SA,
+// ST, LT) costs RC+VCA+SA in the router and ST+LT(+slack) on the wire.
+type Wire struct {
+	// Delay is the forward flit latency in cycles (>= 1).
+	Delay int
+	// CreditDelay is the reverse credit latency in cycles (>= 1).
+	CreditDelay int
+
+	dst     FlitReceiver
+	dstPort int
+	src     CreditReceiver
+	srcPort int
+
+	// OnFlit, when non-nil, observes every delivered flit; the power
+	// meter uses it to charge link-traversal energy.
+	OnFlit func(f *Flit)
+
+	now     uint64
+	flits   timedFlitQueue
+	credits timedCreditQueue
+}
+
+// NewWire creates a wire from an upstream output port (src, srcPort) to a
+// downstream input port (dst, dstPort). delay and creditDelay are clamped
+// to a minimum of 1 cycle.
+func NewWire(src CreditReceiver, srcPort int, dst FlitReceiver, dstPort int, delay, creditDelay int) *Wire {
+	if delay < 1 {
+		delay = 1
+	}
+	if creditDelay < 1 {
+		creditDelay = 1
+	}
+	return &Wire{
+		Delay:       delay,
+		CreditDelay: creditDelay,
+		dst:         dst,
+		dstPort:     dstPort,
+		src:         src,
+		srcPort:     srcPort,
+	}
+}
+
+// Send implements Conduit. It is called during the Compute phase.
+func (w *Wire) Send(f *Flit) {
+	w.flits.push(timedFlit{at: w.now + uint64(w.Delay), f: f})
+}
+
+// ReturnCredit implements CreditReturner: the downstream buffer returns a
+// freed slot, and the wire carries the credit back upstream.
+func (w *Wire) ReturnCredit(vc int) {
+	w.credits.push(timedCredit{at: w.now + uint64(w.CreditDelay), vc: vc})
+}
+
+// Tick implements sim.Ticker; it runs in the Delivery phase and hands over
+// everything whose latency has elapsed.
+func (w *Wire) Tick(cycle uint64) {
+	w.now = cycle
+	for {
+		tf, ok := w.flits.peek()
+		if !ok || tf.at > cycle {
+			break
+		}
+		w.flits.pop()
+		if w.OnFlit != nil {
+			w.OnFlit(tf.f)
+		}
+		w.dst.ReceiveFlit(w.dstPort, tf.f)
+	}
+	for {
+		tc, ok := w.credits.peek()
+		if !ok || tc.at > cycle {
+			break
+		}
+		w.credits.pop()
+		w.src.ReceiveCredit(w.srcPort, tc.vc)
+	}
+}
+
+// InFlight returns the number of flits currently traversing the wire.
+func (w *Wire) InFlight() int { return w.flits.len() }
+
+type timedFlit struct {
+	at uint64
+	f  *Flit
+}
+
+type timedCredit struct {
+	at uint64
+	vc int
+}
+
+// timedFlitQueue is a ring-buffer FIFO. Because every entry on a given
+// wire has the same delay, entries are pushed in non-decreasing deadline
+// order and a FIFO suffices (no heap needed).
+type timedFlitQueue struct {
+	buf        []timedFlit
+	head, size int
+}
+
+func (q *timedFlitQueue) len() int { return q.size }
+
+func (q *timedFlitQueue) push(v timedFlit) {
+	if q.size == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = v
+	q.size++
+}
+
+func (q *timedFlitQueue) peek() (timedFlit, bool) {
+	if q.size == 0 {
+		return timedFlit{}, false
+	}
+	return q.buf[q.head], true
+}
+
+func (q *timedFlitQueue) pop() {
+	q.buf[q.head] = timedFlit{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+}
+
+func (q *timedFlitQueue) grow() {
+	n := len(q.buf) * 2
+	if n == 0 {
+		n = 8
+	}
+	nb := make([]timedFlit, n)
+	for i := 0; i < q.size; i++ {
+		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = nb
+	q.head = 0
+}
+
+type timedCreditQueue struct {
+	buf        []timedCredit
+	head, size int
+}
+
+func (q *timedCreditQueue) len() int { return q.size }
+
+func (q *timedCreditQueue) push(v timedCredit) {
+	if q.size == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = v
+	q.size++
+}
+
+func (q *timedCreditQueue) peek() (timedCredit, bool) {
+	if q.size == 0 {
+		return timedCredit{}, false
+	}
+	return q.buf[q.head], true
+}
+
+func (q *timedCreditQueue) pop() {
+	q.buf[q.head] = timedCredit{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+}
+
+func (q *timedCreditQueue) grow() {
+	n := len(q.buf) * 2
+	if n == 0 {
+		n = 8
+	}
+	nb := make([]timedCredit, n)
+	for i := 0; i < q.size; i++ {
+		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = nb
+	q.head = 0
+}

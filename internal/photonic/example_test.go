@@ -1,0 +1,30 @@
+package photonic_test
+
+import (
+	"fmt"
+
+	"ownsim/internal/photonic"
+)
+
+// The paper's introduction numbers: a 64x64 SWMR photonic crossbar.
+func ExampleSWMRInventory() {
+	inv := photonic.SWMRInventory(64)
+	fmt.Printf("%d modulators, %d waveguides, %d photodetectors\n",
+		inv.Modulators, inv.Waveguides, inv.Photodetectors)
+	inv = photonic.SWMRInventory(1024)
+	fmt.Printf("%d modulators, %d waveguides, %.1fM photodetectors\n",
+		inv.Modulators, inv.Waveguides, float64(inv.Photodetectors)/1e6)
+	// Output:
+	// 448 modulators, 7 waveguides, 28224 photodetectors
+	// 7168 modulators, 112 waveguides, 7.3M photodetectors
+}
+
+// Why OWN scales: four 16-tile cluster crossbars need a small fraction
+// of the rings a monolithic 64-tile crossbar does.
+func ExampleMWSRInventory() {
+	own := photonic.MWSRInventory(16).Scale(4)
+	optxb := photonic.MWSRInventory(64)
+	fmt.Printf("OWN-256: %d rings; OptXB-256: %d rings\n", own.Rings, optxb.Rings)
+	// Output:
+	// OWN-256: 7168 rings; OptXB-256: 28672 rings
+}

@@ -1,0 +1,165 @@
+// Package photonic models the silicon-photonic interconnect substrate:
+// MWSR (multiple-writer single-reader) waveguide crossbars with token
+// arbitration as used inside each OWN cluster and by the OptXB baseline,
+// plus the photonic component inventory (modulators, waveguides,
+// photodetectors, ring resonators) whose growth is the paper's scalability
+// argument against photonics-only kilo-core networks.
+package photonic
+
+import (
+	"fmt"
+
+	"ownsim/internal/fabric"
+	"ownsim/internal/noc"
+	"ownsim/internal/router"
+	"ownsim/internal/sbus"
+	"ownsim/internal/sim"
+)
+
+// CrossbarSpec parameterizes an N-tile MWSR photonic crossbar.
+type CrossbarSpec struct {
+	// Tiles is the number of tiles on the crossbar (16 per OWN cluster;
+	// 64/256 for OptXB).
+	Tiles int
+	// SerializeCy is the per-flit occupancy of one home channel in
+	// cycles (includes any bisection-equalization slowdown). When the
+	// waveguide is split into VC groups, each subchannel serializes at
+	// SerializeCy * len(VCGroups).
+	SerializeCy int
+	// PropCy is the waveguide flight time in cycles.
+	PropCy int
+	// TokenHopCy is the token-passing cost per tile position on the
+	// snake waveguide.
+	TokenHopCy int
+	// NumVCs / BufDepth mirror the attached routers' configuration.
+	NumVCs, BufDepth int
+	// VCGroups partitions the VCs into independent wavelength
+	// subchannels, each with its own token and packet lock. OWN needs
+	// this for deadlock freedom: its "up" photonic legs (VCs 2-3) may
+	// stall on wireless credits while holding a packet lock, and must
+	// not block the terminal "down" legs (VCs 0-1) sharing the
+	// waveguide — so each class rides its own half of the DWDM comb.
+	// Empty means a single group containing all VCs (OptXB).
+	VCGroups [][]int
+}
+
+func (s CrossbarSpec) groups() [][]int {
+	if len(s.VCGroups) > 0 {
+		return s.VCGroups
+	}
+	all := make([]int, s.NumVCs)
+	for i := range all {
+		all[i] = i
+	}
+	return [][]int{all}
+}
+
+// Crossbar is a built MWSR crossbar: Channels holds every subchannel
+// (len = Tiles x len(VCGroups)); tile t's home waveguide comprises the
+// consecutive group subchannels starting at t*len(VCGroups).
+type Crossbar struct {
+	Spec     CrossbarSpec
+	Channels []*sbus.Channel
+}
+
+// vcDemux fans a router output port out to the per-VC-group subchannel
+// writers.
+type vcDemux struct {
+	byVC []noc.Conduit
+}
+
+func (d *vcDemux) Send(f *noc.Flit) { d.byVC[f.VC].Send(f) }
+
+// rxDemux routes returned input-buffer credits back to the subchannel
+// that owns the VC.
+type rxDemux struct {
+	byVC []noc.CreditReturner
+}
+
+func (d *rxDemux) ReturnCredit(vc int) { d.byVC[vc].ReturnCredit(vc) }
+
+// PortMap tells the crossbar builder which router ports to use: the
+// output port of writer tile w toward reader tile t, and the input port
+// on which reader tile t receives from its home waveguide.
+type PortMap struct {
+	// WriterPort returns the output port on tile w's router used to
+	// write to tile t's home channel (w != t).
+	WriterPort func(w, t int) int
+	// ReaderPort returns the input port on tile t's router fed by its
+	// home channel.
+	ReaderPort func(t int) int
+}
+
+// BuildCrossbar wires an MWSR crossbar among the given tile routers and
+// registers its channels with the network engine. The network's power
+// meter is charged per transmitted flit.
+func BuildCrossbar(n *fabric.Network, name string, routers []*router.Router, pm PortMap, spec CrossbarSpec) *Crossbar {
+	if len(routers) != spec.Tiles {
+		panic(fmt.Sprintf("photonic %s: %d routers for %d tiles", name, len(routers), spec.Tiles))
+	}
+	meter := n.Meter
+	groups := spec.groups()
+	subSer := spec.SerializeCy * len(groups)
+	xb := &Crossbar{Spec: spec, Channels: make([]*sbus.Channel, 0, spec.Tiles*len(groups))}
+	for t := 0; t < spec.Tiles; t++ {
+		rp := pm.ReaderPort(t)
+		rxBy := &rxDemux{byVC: make([]noc.CreditReturner, spec.NumVCs)}
+		// writerBy[w] demuxes writer tile w's output port across the
+		// group subchannels.
+		writerBy := make(map[int]*vcDemux, spec.Tiles-1)
+		for w := 0; w < spec.Tiles; w++ {
+			if w != t {
+				writerBy[w] = &vcDemux{byVC: make([]noc.Conduit, spec.NumVCs)}
+			}
+		}
+		for gi, group := range groups {
+			ch := sbus.NewChannel(fmt.Sprintf("%s/home%d.%d", name, t, gi), subSer, spec.PropCy, spec.TokenHopCy)
+			ch.OnTransmit = func(f *noc.Flit, rx int) { meter.Photonic() }
+			rx := ch.AddRx(routers[t], rp, spec.NumVCs, spec.BufDepth)
+			for _, vc := range group {
+				rxBy.byVC[vc] = rx
+			}
+			// Writer side: every other tile, in tile order (the
+			// token circulates along the snake waveguide).
+			for w := 0; w < spec.Tiles; w++ {
+				if w == t {
+					continue
+				}
+				wr := ch.AddWriter(routers[w], pm.WriterPort(w, t), spec.NumVCs, spec.BufDepth)
+				for _, vc := range group {
+					writerBy[w].byVC[vc] = wr
+				}
+				if gi == 0 {
+					n.NoteEdge(routers[w].Cfg.ID, routers[t].Cfg.ID, "photonic")
+				}
+			}
+			n.Eng.Register(sim.PhaseDelivery, ch)
+			n.TrackChannel(ch)
+			xb.Channels = append(xb.Channels, ch)
+		}
+		routers[t].ConnectInput(rp, rxBy)
+		for w, demux := range writerBy {
+			routers[w].ConnectOutput(pm.WriterPort(w, t), demux, spec.BufDepth, 1)
+		}
+	}
+	return xb
+}
+
+// Queued sums flits buffered inside the crossbar.
+func (x *Crossbar) Queued() int {
+	total := 0
+	for _, ch := range x.Channels {
+		total += ch.Queued()
+	}
+	return total
+}
+
+// CheckInvariants validates all channels.
+func (x *Crossbar) CheckInvariants() error {
+	for _, ch := range x.Channels {
+		if err := ch.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package photonic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestThermalMeanMatchesMonteCarlo(t *testing.T) {
+	m := DefaultThermalModel()
+	const rings = 20000
+	mc := m.SampleTuningMW(rings, 11)
+	closed := m.MeanTuneUWPerRing() * rings / 1000
+	if rel := math.Abs(mc-closed) / closed; rel > 0.03 {
+		t.Fatalf("Monte-Carlo %v mW vs closed form %v mW (rel err %v)", mc, closed, rel)
+	}
+}
+
+func TestThermalPerRingMagnitude(t *testing.T) {
+	// Representative silicon numbers land in the 100-300 uW/ring range
+	// reported for integrated micro-heaters.
+	uw := DefaultThermalModel().MeanTuneUWPerRing()
+	if uw < 50 || uw > 500 {
+		t.Fatalf("tuning power %v uW/ring outside plausible range", uw)
+	}
+}
+
+func TestThermalFlipsFigure6Verdict(t *testing.T) {
+	// The ablation headline: once ring tuning is charged, OptXB's ring
+	// count (MWSR 64x64) costs watts while OWN's four 16-tile clusters
+	// cost a small fraction — the scalability argument of the paper's
+	// introduction made quantitative.
+	m := DefaultThermalModel()
+	optxb := m.ChipTuningMW(MWSRInventory(64))
+	own := m.ChipTuningMW(MWSRInventory(16).Scale(4))
+	if optxb < own*3 {
+		t.Fatalf("OptXB tuning %v mW should dwarf OWN's %v mW", optxb, own)
+	}
+	// At 1024 cores the gap widens further.
+	optxb1024 := m.ChipTuningMW(MWSRInventory(256))
+	own1024 := m.ChipTuningMW(MWSRInventory(16).Scale(16))
+	if optxb1024 < own1024*10 {
+		t.Fatalf("1024-core gap too small: %v vs %v mW", optxb1024, own1024)
+	}
+}
+
+func TestThermalScalesWithGradient(t *testing.T) {
+	a := DefaultThermalModel()
+	b := a
+	b.GradientK = 2 * a.GradientK
+	if b.MeanTuneUWPerRing() <= a.MeanTuneUWPerRing() {
+		t.Fatal("hotter die must cost more tuning power")
+	}
+}

@@ -1,0 +1,157 @@
+// Package plot renders small ASCII line charts for the CLI tools: the
+// latency-load curves of Figure 7(b,c) and the BER/link-budget sweeps,
+// readable directly in a terminal without external tooling.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'o', '+', 'x', '*', '#', '@', '%', '&'}
+
+// Chart renders the series onto a width x height character grid with
+// axis labels. X and Y ranges cover all finite points; non-finite values
+// are skipped.
+func Chart(title string, series []Series, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if !finite(x) || !finite(y) {
+				continue
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if minX > maxX || minY > maxY {
+		return title + "\n(no finite data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+		return clamp(c, 0, width-1)
+	}
+	row := func(y float64) int {
+		r := int(math.Round((y - minY) / (maxY - minY) * float64(height-1)))
+		return clamp(height-1-r, 0, height-1)
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		// Sort points by x for line interpolation.
+		idx := make([]int, 0, len(s.X))
+		for i := range s.X {
+			if finite(s.X[i]) && finite(s.Y[i]) {
+				idx = append(idx, i)
+			}
+		}
+		sort.Slice(idx, func(a, b int) bool { return s.X[idx[a]] < s.X[idx[b]] })
+		prevC, prevR := -1, -1
+		for _, i := range idx {
+			c, r := col(s.X[i]), row(s.Y[i])
+			if prevC >= 0 {
+				drawLine(grid, prevC, prevR, c, r, m)
+			}
+			grid[r][c] = m
+			prevC, prevR = c, r
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	yLabelW := 10
+	for r, line := range grid {
+		yVal := maxY - (maxY-minY)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%*.3g |%s|\n", yLabelW, yVal, string(line))
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", yLabelW), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*.3g%*.3g\n", strings.Repeat(" ", yLabelW), width/2, minX, width-width/2, maxX)
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", yLabelW), strings.Join(legend, "  "))
+	return b.String()
+}
+
+// drawLine rasterizes a segment with Bresenham's algorithm, marking
+// intermediate cells with '.' unless already occupied.
+func drawLine(grid [][]byte, x0, y0, x1, y1 int, m byte) {
+	dx, dy := abs(x1-x0), -abs(y1-y0)
+	sx, sy := sign(x1-x0), sign(y1-y0)
+	err := dx + dy
+	x, y := x0, y0
+	for {
+		if grid[y][x] == ' ' {
+			grid[y][x] = '.'
+		}
+		if x == x1 && y == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y += sy
+		}
+	}
+}
+
+func finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func sign(v int) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	}
+	return 0
+}

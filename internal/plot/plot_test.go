@@ -1,0 +1,82 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartBasics(t *testing.T) {
+	s := []Series{
+		{Name: "a", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 4, 9}},
+		{Name: "b", X: []float64{0, 1, 2, 3}, Y: []float64{9, 4, 1, 0}},
+	}
+	out := Chart("test", s, 40, 10)
+	if !strings.Contains(out, "test") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "o=a") || !strings.Contains(out, "+=b") {
+		t.Fatal("missing legend")
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "+") {
+		t.Fatal("missing markers")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + height rows + axis + labels + legend.
+	if len(lines) != 1+10+1+1+1 {
+		t.Fatalf("unexpected line count %d", len(lines))
+	}
+}
+
+func TestChartEmptyData(t *testing.T) {
+	out := Chart("empty", []Series{{Name: "a"}}, 30, 8)
+	if !strings.Contains(out, "no finite data") {
+		t.Fatalf("empty chart output: %q", out)
+	}
+}
+
+func TestChartSkipsNonFinite(t *testing.T) {
+	inf := 1.0
+	for i := 0; i < 400; i++ {
+		inf *= 10
+	}
+	s := []Series{{Name: "a", X: []float64{0, 1, 2}, Y: []float64{1, inf, 3}}}
+	out := Chart("", s, 30, 6)
+	if strings.Contains(out, "no finite data") {
+		t.Fatal("finite points should still render")
+	}
+}
+
+func TestChartClampsTinySizes(t *testing.T) {
+	s := []Series{{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}}}
+	out := Chart("", s, 1, 1)
+	if len(out) == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestChartConstantY(t *testing.T) {
+	s := []Series{{Name: "flat", X: []float64{0, 1, 2}, Y: []float64{5, 5, 5}}}
+	out := Chart("", s, 30, 6)
+	if !strings.Contains(out, "o") {
+		t.Fatal("flat series should render")
+	}
+}
+
+func TestDrawLineConnects(t *testing.T) {
+	grid := make([][]byte, 5)
+	for r := range grid {
+		grid[r] = []byte("     ")
+	}
+	drawLine(grid, 0, 0, 4, 4, 'x')
+	dots := 0
+	for _, row := range grid {
+		for _, ch := range row {
+			if ch != ' ' {
+				dots++
+			}
+		}
+	}
+	if dots < 5 {
+		t.Fatalf("line too sparse: %d cells", dots)
+	}
+}

@@ -1,0 +1,223 @@
+package power
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Meter accumulates dynamic energy (picojoules) and a static-power
+// inventory for one simulated network. All methods are nil-safe so unit
+// tests can wire components without a meter. Meters are not safe for
+// concurrent use; each simulated network owns exactly one and the engine
+// is single-threaded (parallelism in this repository is across independent
+// simulations).
+type Meter struct {
+	P *Params
+
+	// Dynamic energy accumulators, pJ.
+	BufWritePJ   float64
+	BufReadPJ    float64
+	XbarPJ       float64
+	ArbPJ        float64
+	ElecLinkPJ   float64
+	PhotonicPJ   float64
+	WirelessPJ   float64
+	WirelessRxPJ float64
+
+	// Event counters.
+	NBufWrite    uint64
+	NBufRead     uint64
+	NXbar        uint64
+	NElecFlit    uint64
+	NPhotFlit    uint64
+	NWirelessFlt uint64
+
+	// Per-wireless-channel energy, pJ, for Figure 5-style reporting.
+	WirelessChanPJ []float64
+
+	// Static inventory.
+	leakMW    float64
+	ringCount int
+}
+
+// NewMeter creates a meter over the given parameter table.
+func NewMeter(p *Params) *Meter {
+	if p == nil {
+		p = DefaultParams()
+	}
+	return &Meter{P: p}
+}
+
+// BufWrite charges one input-buffer write.
+func (m *Meter) BufWrite() {
+	if m == nil {
+		return
+	}
+	m.BufWritePJ += m.P.EBufWritePJ
+	m.NBufWrite++
+}
+
+// BufRead charges one input-buffer read.
+func (m *Meter) BufRead() {
+	if m == nil {
+		return
+	}
+	m.BufReadPJ += m.P.EBufReadPJ
+	m.NBufRead++
+}
+
+// Xbar charges one crossbar traversal through a switch of the given radix.
+func (m *Meter) Xbar(radix int) {
+	if m == nil {
+		return
+	}
+	m.XbarPJ += m.P.XbarPJ(radix)
+	m.NXbar++
+}
+
+// SAArb charges one switch-allocation grant.
+func (m *Meter) SAArb(radix int) {
+	if m == nil {
+		return
+	}
+	m.ArbPJ += m.P.SAArbPJ(radix)
+}
+
+// VCAArb charges one VC-allocation grant.
+func (m *Meter) VCAArb() {
+	if m == nil {
+		return
+	}
+	m.ArbPJ += m.P.EVCAArbPJ
+}
+
+// ElecLink charges an electrical link traversal of one flit over the given
+// length in millimetres.
+func (m *Meter) ElecLink(mm float64) {
+	if m == nil {
+		return
+	}
+	m.ElecLinkPJ += m.P.EElecPJPerBitMM * float64(m.P.FlitBits) * mm
+	m.NElecFlit++
+}
+
+// Photonic charges a photonic waveguide traversal of one flit.
+func (m *Meter) Photonic() {
+	if m == nil {
+		return
+	}
+	m.PhotonicPJ += m.P.EPhotonicPJPerBit * float64(m.P.FlitBits)
+	m.NPhotFlit++
+}
+
+// Wireless charges a wireless transmission of one flit on channel ch at
+// the given energy-per-bit (which the wireless package derives from the
+// Table III band plan, the configuration and the link-distance factor).
+func (m *Meter) Wireless(ch int, epbPJ float64) {
+	if m == nil {
+		return
+	}
+	e := epbPJ * float64(m.P.FlitBits)
+	m.WirelessPJ += e
+	m.NWirelessFlt++
+	if ch >= 0 {
+		for len(m.WirelessChanPJ) <= ch {
+			m.WirelessChanPJ = append(m.WirelessChanPJ, 0)
+		}
+		m.WirelessChanPJ[ch] += e
+	}
+}
+
+// WirelessDiscard charges the receive-and-discard cost of one multicast
+// flit at a non-addressed SWMR receiver.
+func (m *Meter) WirelessDiscard() {
+	if m == nil {
+		return
+	}
+	m.WirelessRxPJ += m.P.EWirelessRxDiscardPJPerBit * float64(m.P.FlitBits)
+}
+
+// RegisterRouter adds one router's base + crossbar leakage to the static
+// inventory.
+func (m *Meter) RegisterRouter(radix, vcs int) {
+	if m == nil {
+		return
+	}
+	_ = vcs
+	m.leakMW += m.P.RouterLeakMW(radix)
+}
+
+// RegisterInputPort adds the leakage of one connected input port's VC
+// buffers.
+func (m *Meter) RegisterInputPort(vcs int) {
+	if m == nil {
+		return
+	}
+	m.leakMW += m.P.PLeakPerVCBufMW * float64(vcs)
+}
+
+// RegisterRings adds ring resonators to the static inventory (thermal
+// tuning, costed at Params.PRingTuneUW each).
+func (m *Meter) RegisterRings(n int) {
+	if m == nil {
+		return
+	}
+	m.ringCount += n
+}
+
+// Breakdown is a power report in milliwatts by category, matching the
+// stacking of the paper's Figure 6.
+type Breakdown struct {
+	RouterDynMW    float64 // buffers + crossbar + allocators
+	RouterStaticMW float64 // leakage + ring tuning
+	ElecLinkMW     float64
+	PhotonicMW     float64
+	WirelessMW     float64 // transmit + SWMR discard
+	Cycles         uint64
+}
+
+// TotalMW returns the sum of all categories.
+func (b Breakdown) TotalMW() float64 {
+	return b.RouterDynMW + b.RouterStaticMW + b.ElecLinkMW + b.PhotonicMW + b.WirelessMW
+}
+
+// String renders the breakdown as a one-line summary.
+func (b Breakdown) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "total %.2f mW (router dyn %.2f, router static %.2f, elec %.2f, photonic %.2f, wireless %.2f)",
+		b.TotalMW(), b.RouterDynMW, b.RouterStaticMW, b.ElecLinkMW, b.PhotonicMW, b.WirelessMW)
+	return sb.String()
+}
+
+// Report converts accumulated energy over the given number of cycles into
+// average power. It panics if cycles is zero.
+func (m *Meter) Report(cycles uint64) Breakdown {
+	if cycles == 0 {
+		panic("power: report over zero cycles")
+	}
+	ns := float64(cycles) * m.P.CycleNS()
+	// 1 pJ / 1 ns == 1 mW.
+	toMW := func(pj float64) float64 { return pj / ns }
+	return Breakdown{
+		RouterDynMW:    toMW(m.BufWritePJ + m.BufReadPJ + m.XbarPJ + m.ArbPJ),
+		RouterStaticMW: m.leakMW + float64(m.ringCount)*m.P.PRingTuneUW/1000.0,
+		ElecLinkMW:     toMW(m.ElecLinkPJ),
+		PhotonicMW:     toMW(m.PhotonicPJ),
+		WirelessMW:     toMW(m.WirelessPJ + m.WirelessRxPJ),
+		Cycles:         cycles,
+	}
+}
+
+// WirelessAvgChannelMW returns the mean per-channel wireless link power
+// over the given cycles, the quantity plotted in the paper's Figure 5.
+func (m *Meter) WirelessAvgChannelMW(cycles uint64) float64 {
+	if m == nil || len(m.WirelessChanPJ) == 0 || cycles == 0 {
+		return 0
+	}
+	ns := float64(cycles) * m.P.CycleNS()
+	sum := 0.0
+	for _, pj := range m.WirelessChanPJ {
+		sum += pj
+	}
+	return sum / ns / float64(len(m.WirelessChanPJ))
+}

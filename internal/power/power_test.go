@@ -1,0 +1,172 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNilMeterIsSafe(t *testing.T) {
+	var m *Meter
+	m.BufWrite()
+	m.BufRead()
+	m.Xbar(8)
+	m.SAArb(8)
+	m.VCAArb()
+	m.ElecLink(5)
+	m.Photonic()
+	m.Wireless(0, 0.5)
+	m.WirelessDiscard()
+	m.RegisterRouter(8, 4)
+	m.RegisterRings(100)
+	if m.WirelessAvgChannelMW(100) != 0 {
+		t.Fatal("nil meter should report zero")
+	}
+}
+
+func TestMeterAccumulation(t *testing.T) {
+	p := DefaultParams()
+	m := NewMeter(p)
+	m.BufWrite()
+	m.BufWrite()
+	m.BufRead()
+	if m.NBufWrite != 2 || m.NBufRead != 1 {
+		t.Fatalf("counts: %d writes, %d reads", m.NBufWrite, m.NBufRead)
+	}
+	want := 2 * p.EBufWritePJ
+	if math.Abs(m.BufWritePJ-want) > 1e-12 {
+		t.Fatalf("BufWritePJ = %v, want %v", m.BufWritePJ, want)
+	}
+}
+
+func TestXbarEnergyScalesWithRadix(t *testing.T) {
+	p := DefaultParams()
+	small, large := p.XbarPJ(8), p.XbarPJ(67)
+	if large <= small {
+		t.Fatalf("xbar energy should grow with radix: %v vs %v", small, large)
+	}
+	wantDelta := p.EXbarPerPortPJ * float64(67-8)
+	if math.Abs((large-small)-wantDelta) > 1e-12 {
+		t.Fatalf("xbar delta = %v, want %v", large-small, wantDelta)
+	}
+}
+
+func TestReportUnits(t *testing.T) {
+	p := DefaultParams() // 2 GHz: 1 cycle = 0.5 ns
+	m := NewMeter(p)
+	// 1000 pJ of photonic energy over 2000 cycles = 1000 ns -> 1 mW.
+	n := int(math.Round(1000.0 / (p.EPhotonicPJPerBit * float64(p.FlitBits))))
+	for i := 0; i < n; i++ {
+		m.Photonic()
+	}
+	b := m.Report(2000)
+	wantPJ := float64(n) * p.EPhotonicPJPerBit * float64(p.FlitBits)
+	wantMW := wantPJ / 1000.0
+	if math.Abs(b.PhotonicMW-wantMW) > 1e-9 {
+		t.Fatalf("PhotonicMW = %v, want %v", b.PhotonicMW, wantMW)
+	}
+	if b.Cycles != 2000 {
+		t.Fatalf("Cycles = %d", b.Cycles)
+	}
+}
+
+func TestReportZeroCyclesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMeter(nil).Report(0)
+}
+
+func TestStaticPower(t *testing.T) {
+	p := DefaultParams()
+	m := NewMeter(p)
+	m.RegisterRouter(20, 4)
+	m.RegisterRouter(8, 4)
+	m.RegisterInputPort(4)
+	m.RegisterInputPort(4)
+	b := m.Report(100)
+	want := p.RouterLeakMW(20) + p.RouterLeakMW(8) + 2*4*p.PLeakPerVCBufMW
+	if math.Abs(b.RouterStaticMW-want) > 1e-12 {
+		t.Fatalf("static = %v, want %v", b.RouterStaticMW, want)
+	}
+}
+
+func TestRingTuningKnob(t *testing.T) {
+	p := DefaultParams()
+	p.PRingTuneUW = 20 // 20 uW per ring
+	m := NewMeter(p)
+	m.RegisterRings(1000) // -> 20 mW
+	b := m.Report(100)
+	if math.Abs(b.RouterStaticMW-20.0) > 1e-9 {
+		t.Fatalf("ring tuning = %v mW, want 20", b.RouterStaticMW)
+	}
+}
+
+func TestWirelessPerChannel(t *testing.T) {
+	m := NewMeter(DefaultParams())
+	m.Wireless(3, 1.0)
+	m.Wireless(3, 1.0)
+	m.Wireless(3, 1.0)
+	m.Wireless(0, 2.0)
+	if len(m.WirelessChanPJ) != 4 {
+		t.Fatalf("channel slice len = %d, want 4", len(m.WirelessChanPJ))
+	}
+	if m.WirelessChanPJ[3] <= m.WirelessChanPJ[0] {
+		t.Fatalf("per-channel accounting wrong: %v", m.WirelessChanPJ)
+	}
+	if m.WirelessAvgChannelMW(1000) <= 0 {
+		t.Fatal("average channel power should be positive")
+	}
+}
+
+func TestWirelessNegativeChannelSkipsSlice(t *testing.T) {
+	m := NewMeter(DefaultParams())
+	m.Wireless(-1, 1.0)
+	if len(m.WirelessChanPJ) != 0 {
+		t.Fatal("negative channel id should not grow the slice")
+	}
+	if m.WirelessPJ == 0 {
+		t.Fatal("energy should still accumulate")
+	}
+}
+
+func TestBreakdownTotalAndString(t *testing.T) {
+	b := Breakdown{RouterDynMW: 1, RouterStaticMW: 2, ElecLinkMW: 3, PhotonicMW: 4, WirelessMW: 5}
+	if b.TotalMW() != 15 {
+		t.Fatalf("TotalMW = %v", b.TotalMW())
+	}
+	if !strings.Contains(b.String(), "total 15.00 mW") {
+		t.Fatalf("String() = %q", b.String())
+	}
+}
+
+func TestEnergyNonNegativeProperty(t *testing.T) {
+	f := func(nw, nr, nx uint8, mm float64) bool {
+		m := NewMeter(DefaultParams())
+		for i := 0; i < int(nw); i++ {
+			m.BufWrite()
+		}
+		for i := 0; i < int(nr); i++ {
+			m.BufRead()
+		}
+		for i := 0; i < int(nx); i++ {
+			m.Xbar(20)
+		}
+		m.ElecLink(math.Abs(mm))
+		b := m.Report(1000)
+		return b.TotalMW() >= 0 && b.RouterDynMW >= 0 && b.ElecLinkMW >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewMeterNilParams(t *testing.T) {
+	m := NewMeter(nil)
+	if m.P == nil {
+		t.Fatal("NewMeter(nil) should install defaults")
+	}
+}

@@ -1,0 +1,67 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"ownsim/internal/core"
+)
+
+func TestEvaluateQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation in -short mode")
+	}
+	rep := Evaluate(core.QuickBudget(), time.Unix(0, 0).UTC())
+	if len(rep.Claims) < 15 {
+		t.Fatalf("only %d claims tracked", len(rep.Claims))
+	}
+	// The quick budget must reproduce the large majority; log failures
+	// for inspection.
+	for _, c := range rep.Claims {
+		if !c.Pass {
+			t.Logf("FAIL %s: %s (paper: %s)", c.ID, c.Measured, c.Paper)
+		}
+	}
+	if rep.Passed() < len(rep.Claims)-2 {
+		t.Fatalf("%d/%d claims reproduced; expected near-complete", rep.Passed(), len(rep.Claims))
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	rep := Report{
+		GeneratedAt: time.Unix(0, 0).UTC(),
+		Budget:      "test",
+		Claims: []Claim{
+			{ID: "a", Paper: "p", Measured: "m", Pass: true},
+			{ID: "b", Paper: "q", Measured: "n", Pass: false},
+		},
+	}
+	md := rep.Markdown()
+	if !strings.Contains(md, "1/2 reproduced") || !strings.Contains(md, "FAIL") {
+		t.Fatalf("markdown rendering wrong:\n%s", md)
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Claims) != 2 || back.Claims[0].ID != "a" {
+		t.Fatal("JSON round trip failed")
+	}
+	if rep.Passed() != 1 {
+		t.Fatalf("Passed = %d", rep.Passed())
+	}
+}
+
+func TestRFClaimsAllPass(t *testing.T) {
+	for _, c := range rfClaims() {
+		if !c.Pass {
+			t.Errorf("RF claim %s failed: %s", c.ID, c.Measured)
+		}
+	}
+}

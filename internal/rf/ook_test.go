@@ -1,0 +1,69 @@
+package rf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOOKBERMatchesTheory(t *testing.T) {
+	// At moderate SNR the simulated BER must track the closed form
+	// within a factor of ~2 (the approximation drops the miss term's
+	// sub-exponential prefactor).
+	for _, snr := range []float64{8, 10, 12} {
+		l := OOKLink{SNRdB: snr}
+		sim := l.SimulateBER(400000, 7)
+		theory := l.TheoreticalBER()
+		if sim == 0 {
+			t.Fatalf("SNR %v: no errors in 400k bits; theory %v", snr, theory)
+		}
+		ratio := sim / theory
+		if ratio < 0.4 || ratio > 2.5 {
+			t.Fatalf("SNR %v dB: simulated %v vs theory %v (ratio %v)", snr, sim, theory, ratio)
+		}
+	}
+}
+
+func TestOOKBERMonotone(t *testing.T) {
+	prev := 1.0
+	for _, snr := range []float64{4, 8, 12} {
+		ber := OOKLink{SNRdB: snr}.SimulateBER(200000, 3)
+		if ber >= prev {
+			t.Fatalf("BER must fall with SNR: %v at %v dB", ber, snr)
+		}
+		prev = ber
+	}
+}
+
+func TestRequiredSNR(t *testing.T) {
+	// 1e-3 pre-FEC lands near the default budget's 12 dB assumption.
+	got := RequiredSNRdB(1e-3)
+	if got < 11 || got > 16 {
+		t.Fatalf("required SNR for 1e-3 = %v dB, want ~12-15", got)
+	}
+	// Round trip: theoretical BER at that SNR equals the target.
+	ber := OOKLink{SNRdB: got}.TheoreticalBER()
+	if math.Abs(ber-1e-3) > 1e-4 {
+		t.Fatalf("round trip BER = %v", ber)
+	}
+}
+
+func TestRequiredSNRPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RequiredSNRdB(0.7)
+}
+
+func TestBERCurve(t *testing.T) {
+	pts := BERCurve(4, 12, 4, 50000, 1)
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Theory >= pts[i-1].Theory {
+			t.Fatal("theory curve must fall")
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package rf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFSPLKnownValue(t *testing.T) {
+	// 50 mm at 90 GHz: 20*log10(4*pi*0.05*9e10/c) ~ 45.5 dB.
+	got := FSPLdB(50, 90)
+	if math.Abs(got-45.5) > 0.3 {
+		t.Fatalf("FSPL(50mm, 90GHz) = %v dB, want ~45.5", got)
+	}
+}
+
+func TestFSPLMonotoneProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		d1, d2 := 1+math.Abs(a), 1+math.Abs(b)
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		return FSPLdB(d1, 90) <= FSPLdB(d2, 90)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure3Anchor(t *testing.T) {
+	// The paper: ">= 4 dBm for a maximum distance of 50 mm" at 32 Gb/s,
+	// 90 GHz, isotropic antennas.
+	lb := DefaultLinkBudget()
+	got := lb.RequiredTxDBm(50, 90, 32, 0)
+	if got < 4.0 || got > 7.0 {
+		t.Fatalf("required TX @50mm isotropic = %v dBm, want [4, 7]", got)
+	}
+}
+
+func TestFigure3DirectivityHelps(t *testing.T) {
+	lb := DefaultLinkBudget()
+	iso := lb.RequiredTxDBm(50, 90, 32, 0)
+	dir := lb.RequiredTxDBm(50, 90, 32, 10)
+	if math.Abs((iso-dir)-10) > 1e-9 {
+		t.Fatalf("10 dBi should cut required power by 10 dB: %v vs %v", iso, dir)
+	}
+}
+
+func TestFigure3Sweep(t *testing.T) {
+	pts := Figure3(DefaultLinkBudget(), []float64{0, 5, 10})
+	if len(pts) != 30 {
+		t.Fatalf("%d points, want 30", len(pts))
+	}
+	// Monotone in distance within one directivity series.
+	for i := 1; i < 10; i++ {
+		if pts[i].RequiredDBm <= pts[i-1].RequiredDBm {
+			t.Fatal("required power must grow with distance")
+		}
+	}
+}
+
+func TestMaxRange(t *testing.T) {
+	lb := DefaultLinkBudget()
+	r := lb.MaxRangeMM(7, 90, 32, 0)
+	// 7 dBm (PA saturated) must close at least the 50 mm worst case.
+	if r < 50 {
+		t.Fatalf("7 dBm closes only %v mm, want >= 50", r)
+	}
+	// Round trip: required power at that range equals the given power.
+	if back := lb.RequiredTxDBm(r, 90, 32, 0); math.Abs(back-7) > 0.01 && r < 200 {
+		t.Fatalf("inverse inconsistent: %v dBm at %v mm", back, r)
+	}
+}
+
+func TestOscillatorAnalyticPhaseNoise(t *testing.T) {
+	o := DefaultOscillator()
+	if got := o.PhaseNoiseDBc(1e6); got != -86 {
+		t.Fatalf("PN @1MHz = %v, want -86", got)
+	}
+	// -20 dB/decade slope.
+	if got := o.PhaseNoiseDBc(1e7); math.Abs(got-(-106)) > 1e-9 {
+		t.Fatalf("PN @10MHz = %v, want -106", got)
+	}
+}
+
+func TestOscillatorLinewidth(t *testing.T) {
+	lw := DefaultOscillator().LinewidthHz()
+	// -86 dBc/Hz at 1 MHz -> ~7.9 kHz Lorentzian linewidth.
+	if lw < 5e3 || lw > 12e3 {
+		t.Fatalf("linewidth = %v Hz, want ~7.9e3", lw)
+	}
+}
+
+func TestOscillatorMeasuredPhaseNoiseMatchesModel(t *testing.T) {
+	// Figure 4(a) check: the synthesized 90 GHz oscillator's measured
+	// PSD at 1 MHz offset should land near -86 dBc/Hz.
+	o := DefaultOscillator()
+	got := o.MeasurePhaseNoise(1e6, 42)
+	if math.Abs(got-(-86)) > 4 {
+		t.Fatalf("measured PN @1MHz = %v dBc/Hz, want -86 +/- 4", got)
+	}
+}
+
+func TestPADesignPoint(t *testing.T) {
+	pa := DefaultPA()
+	// Peak gain 3.5 dB at 90 GHz.
+	if g := pa.SmallSignalGainDB(90); math.Abs(g-3.5) > 1e-9 {
+		t.Fatalf("gain @90GHz = %v", g)
+	}
+	// ~20 GHz bandwidth above 2 dB gain (Figure 4b).
+	if bw := pa.BandwidthGHz(2.0); math.Abs(bw-20) > 0.5 {
+		t.Fatalf("2dB-gain bandwidth = %v GHz, want ~20", bw)
+	}
+	// Output P1dB ~ 5 dBm.
+	p1 := pa.P1dBOutDBm(90)
+	if math.Abs(p1-5) > 0.5 {
+		t.Fatalf("P1dB = %v dBm, want ~5", p1)
+	}
+	// Saturated output ~ 7 dBm >= the 4 dBm Figure 3 requirement.
+	if pa.PsatDBm < 7 {
+		t.Fatalf("Psat = %v dBm, want >= 7", pa.PsatDBm)
+	}
+}
+
+func TestPACompressionMonotone(t *testing.T) {
+	pa := DefaultPA()
+	prev := math.Inf(-1)
+	for pin := -30.0; pin <= 20; pin += 1 {
+		out := pa.OutputDBm(pin, 90)
+		if out < prev {
+			t.Fatalf("PA output non-monotone at pin=%v", pin)
+		}
+		prev = out
+		if out > pa.PsatDBm+0.01 {
+			t.Fatalf("PA exceeded saturation: %v dBm", out)
+		}
+	}
+}
+
+func TestPASmallSignalLinear(t *testing.T) {
+	pa := DefaultPA()
+	// Far below compression, gain ~ small-signal gain.
+	got := pa.OutputDBm(-30, 90) - (-30)
+	if math.Abs(got-3.5) > 0.05 {
+		t.Fatalf("small-signal gain = %v dB, want 3.5", got)
+	}
+}
+
+func TestPAEfficiencyClassAB(t *testing.T) {
+	pa := DefaultPA()
+	eff := pa.DrainEfficiency(pa.P1dBOutDBm(90))
+	if eff < 0.10 || eff > 0.40 {
+		t.Fatalf("drain efficiency at P1dB = %v, want class-AB range [0.1, 0.4]", eff)
+	}
+}
+
+func TestLNADesignPoint(t *testing.T) {
+	l := DefaultLNA()
+	if g := l.GainAtDB(90); math.Abs(g-10) > 1e-9 {
+		t.Fatalf("LNA gain @90 = %v, want 10 (Figure 4c)", g)
+	}
+	// Wideband: still > 8.5 dB across 90 +/- 15 GHz.
+	if l.GainAtDB(75) < 8.5 || l.GainAtDB(105) < 8.5 {
+		t.Fatal("LNA should stay wideband")
+	}
+}
+
+func TestTransceiverClosesOWNWorstCase(t *testing.T) {
+	tr := DefaultTransceiver()
+	lb := DefaultLinkBudget()
+	// The OWN-256 worst case is the ~60 mm diagonal; the paper argues
+	// modest directivity closes it. Isotropic must close 50 mm.
+	if !tr.LinkCloses(50, 0, lb) {
+		t.Fatal("default chain must close 50 mm isotropic")
+	}
+	if !tr.LinkCloses(60, 5, lb) {
+		t.Fatal("5 dBi should close the 60 mm diagonal")
+	}
+}
+
+func TestTransceiverEnergyPerBit(t *testing.T) {
+	e := DefaultTransceiver().EnergyPerBitPJ()
+	// Today's 65-nm chain: order 1 pJ/bit (Table III's 0.1 pJ/bit is a
+	// maturity projection).
+	if e < 0.3 || e > 1.5 {
+		t.Fatalf("energy/bit = %v pJ, want [0.3, 1.5]", e)
+	}
+}

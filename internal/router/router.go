@@ -1,0 +1,429 @@
+// Package router implements the cycle-accurate input-queued virtual-channel
+// router used by every topology in this repository, together with the
+// traffic Source (network interface) and ejection Sink.
+//
+// The router follows the canonical 5-stage pipeline the paper assumes for
+// all architectures: route computation (RC), virtual-channel allocation
+// (VCA), switch allocation (SA), switch traversal (ST) and link traversal
+// (LT). RC, VCA and SA each take one cycle inside the router (enforced by
+// processing the stages in reverse order within a tick); ST and LT are
+// charged by the outgoing channel's delay. Flow control is credit-based
+// wormhole with per-VC buffers; allocation is a two-stage separable
+// round-robin allocator (input-port stage then output-port stage).
+package router
+
+import (
+	"fmt"
+
+	"ownsim/internal/noc"
+	"ownsim/internal/power"
+)
+
+// RouteFunc computes the output port and the set of permitted output VCs
+// (as a bit mask) for a packet arriving at inPort. Topologies install a
+// RouteFunc per router; routing in this repository is deterministic, as in
+// the paper (XY DOR for meshes, hierarchical photonic/wireless routing for
+// OWN).
+type RouteFunc func(p *noc.Packet, inPort int) (outPort int, vcMask uint32)
+
+// Stage of an input VC's packet-level state machine.
+type vcStage uint8
+
+const (
+	stIdle    vcStage = iota // waiting for a head flit
+	stWaitVCA                // route computed, waiting for an output VC
+	stActive                 // output VC held; flits compete in SA
+)
+
+// vcState is one virtual channel of one input port.
+type vcState struct {
+	port int // input port index
+	vc   int
+
+	buf  []*noc.Flit // FIFO; len <= BufDepth enforced by credits
+	head int         // ring-buffer head
+	size int
+
+	stage   vcStage
+	outPort int
+	outVC   int
+	vcMask  uint32
+
+	inActive bool
+}
+
+func (v *vcState) front() *noc.Flit { return v.buf[v.head] }
+
+func (v *vcState) push(f *noc.Flit) {
+	v.buf[(v.head+v.size)%len(v.buf)] = f
+	v.size++
+}
+
+func (v *vcState) pop() *noc.Flit {
+	f := v.buf[v.head]
+	v.buf[v.head] = nil
+	v.head = (v.head + 1) % len(v.buf)
+	v.size--
+	return f
+}
+
+// InputPort groups the VC buffers fed by one upstream channel.
+type InputPort struct {
+	vcs      []*vcState
+	upstream noc.CreditReturner
+}
+
+// OutputPort tracks downstream credits and output-VC ownership for one
+// outgoing channel.
+type OutputPort struct {
+	down        noc.Conduit
+	credits     []int
+	maxCredits  int
+	owner       []*vcState // per out VC; nil = free
+	serializeCy int        // cycles the switch/channel is held per flit
+	busyUntil   uint64
+}
+
+// Config parameterizes a Router.
+type Config struct {
+	// ID is the router's index within its network.
+	ID int
+	// NumPorts is the port count (the radix used for energy accounting).
+	NumPorts int
+	// NumVCs is the number of virtual channels per input port (the paper
+	// uses 4 everywhere).
+	NumVCs int
+	// BufDepth is the per-VC buffer depth in flits.
+	BufDepth int
+	// Route is the routing function.
+	Route RouteFunc
+	// Meter receives energy charges; nil disables accounting.
+	Meter *power.Meter
+}
+
+// Router is a cycle-accurate input-queued VC router.
+type Router struct {
+	Cfg Config
+
+	in  []*InputPort
+	out []*OutputPort
+
+	active []*vcState
+
+	// Round-robin pointers.
+	saInPtr  []int // per input port: last granted VC
+	saOutPtr []int // per output port: last granted input port
+	vcaPtr   int   // rotating start into the active list for VCA
+
+	// Per-tick scratch, sized NumPorts.
+	inBest  []*vcState
+	outBest []*vcState
+
+	now uint64
+}
+
+// New creates a router with no ports connected. Topologies connect inputs
+// and outputs before simulation starts.
+func New(cfg Config) *Router {
+	if cfg.NumPorts <= 0 || cfg.NumVCs <= 0 || cfg.BufDepth <= 0 {
+		panic(fmt.Sprintf("router %d: invalid config %+v", cfg.ID, cfg))
+	}
+	r := &Router{
+		Cfg:      cfg,
+		in:       make([]*InputPort, cfg.NumPorts),
+		out:      make([]*OutputPort, cfg.NumPorts),
+		saInPtr:  make([]int, cfg.NumPorts),
+		saOutPtr: make([]int, cfg.NumPorts),
+		inBest:   make([]*vcState, cfg.NumPorts),
+		outBest:  make([]*vcState, cfg.NumPorts),
+	}
+	cfg.Meter.RegisterRouter(cfg.NumPorts, cfg.NumVCs)
+	return r
+}
+
+// ConnectInput attaches an upstream channel to input port p. The upstream
+// CreditReturner receives a credit every time a buffered flit leaves.
+func (r *Router) ConnectInput(p int, upstream noc.CreditReturner) {
+	if r.in[p] != nil {
+		panic(fmt.Sprintf("router %d: input port %d connected twice", r.Cfg.ID, p))
+	}
+	r.Cfg.Meter.RegisterInputPort(r.Cfg.NumVCs)
+	ip := &InputPort{upstream: upstream, vcs: make([]*vcState, r.Cfg.NumVCs)}
+	for v := range ip.vcs {
+		ip.vcs[v] = &vcState{
+			port:    p,
+			vc:      v,
+			buf:     make([]*noc.Flit, r.Cfg.BufDepth),
+			outPort: -1,
+			outVC:   -1,
+		}
+	}
+	r.in[p] = ip
+}
+
+// ConnectOutput attaches a downstream conduit to output port p with the
+// given per-VC credit count (the downstream buffer depth) and per-flit
+// serialization time in cycles (>= 1; >1 models narrow channels used for
+// bisection-bandwidth equalization).
+func (r *Router) ConnectOutput(p int, down noc.Conduit, creditsPerVC, serializeCy int) {
+	if r.out[p] != nil {
+		panic(fmt.Sprintf("router %d: output port %d connected twice", r.Cfg.ID, p))
+	}
+	if serializeCy < 1 {
+		serializeCy = 1
+	}
+	op := &OutputPort{
+		down:        down,
+		credits:     make([]int, r.Cfg.NumVCs),
+		maxCredits:  creditsPerVC,
+		owner:       make([]*vcState, r.Cfg.NumVCs),
+		serializeCy: serializeCy,
+	}
+	for v := range op.credits {
+		op.credits[v] = creditsPerVC
+	}
+	r.out[p] = op
+}
+
+// ReceiveFlit implements noc.FlitReceiver: a channel delivers a flit into
+// input buffer (port, f.VC).
+func (r *Router) ReceiveFlit(port int, f *noc.Flit) {
+	ip := r.in[port]
+	if ip == nil {
+		panic(fmt.Sprintf("router %d: flit on unconnected input port %d", r.Cfg.ID, port))
+	}
+	v := ip.vcs[f.VC]
+	if v.size >= r.Cfg.BufDepth {
+		panic(fmt.Sprintf("router %d: buffer overflow port %d vc %d (credit protocol violation)", r.Cfg.ID, port, f.VC))
+	}
+	v.push(f)
+	r.Cfg.Meter.BufWrite()
+	r.activate(v)
+}
+
+// ReceiveCredit implements noc.CreditReceiver: the downstream buffer of
+// output port `port` freed a slot in VC `vc`.
+func (r *Router) ReceiveCredit(port, vc int) {
+	op := r.out[port]
+	if op == nil {
+		panic(fmt.Sprintf("router %d: credit on unconnected output port %d", r.Cfg.ID, port))
+	}
+	op.credits[vc]++
+	if op.credits[vc] > op.maxCredits {
+		panic(fmt.Sprintf("router %d: credit overflow port %d vc %d", r.Cfg.ID, port, vc))
+	}
+}
+
+func (r *Router) activate(v *vcState) {
+	if !v.inActive {
+		v.inActive = true
+		r.active = append(r.active, v)
+	}
+}
+
+// Tick implements sim.Ticker. Stages run in reverse pipeline order so that
+// each stage costs one cycle.
+func (r *Router) Tick(cycle uint64) {
+	r.now = cycle
+	if len(r.active) == 0 {
+		return
+	}
+	r.switchAllocate()
+	r.vcAllocate()
+	r.routeCompute()
+	r.compactActive()
+}
+
+// switchAllocate runs the two-stage separable allocator and performs
+// switch traversal for the winners.
+func (r *Router) switchAllocate() {
+	n := r.Cfg.NumPorts
+	// Stage 1: per input port, round-robin over its VCs.
+	for i := range r.inBest {
+		r.inBest[i] = nil
+		r.outBest[i] = nil
+	}
+	for _, v := range r.active {
+		if v.stage != stActive || v.size == 0 {
+			continue
+		}
+		op := r.out[v.outPort]
+		if op.busyUntil > r.now || op.credits[v.outVC] <= 0 {
+			continue
+		}
+		cur := r.inBest[v.port]
+		if cur == nil || rrBefore(r.saInPtr[v.port], v.vc, cur.vc, r.Cfg.NumVCs) {
+			r.inBest[v.port] = v
+		}
+	}
+	// Stage 2: per output port, round-robin over requesting input ports.
+	for p := 0; p < n; p++ {
+		v := r.inBest[p]
+		if v == nil {
+			continue
+		}
+		cur := r.outBest[v.outPort]
+		if cur == nil || rrBefore(r.saOutPtr[v.outPort], v.port, cur.port, n) {
+			r.outBest[v.outPort] = v
+		}
+	}
+	// Grant: traverse the switch.
+	for p := 0; p < n; p++ {
+		v := r.outBest[p]
+		if v == nil {
+			continue
+		}
+		op := r.out[p]
+		f := v.pop()
+		f.VC = v.outVC
+		if f.IsHead() {
+			f.Pkt.Hops++
+		}
+		r.Cfg.Meter.BufRead()
+		r.Cfg.Meter.Xbar(n)
+		r.Cfg.Meter.SAArb(n)
+		op.credits[v.outVC]--
+		op.busyUntil = r.now + uint64(op.serializeCy)
+		op.down.Send(f)
+		r.in[v.port].upstream.ReturnCredit(v.vc)
+		r.saInPtr[v.port] = v.vc
+		r.saOutPtr[p] = v.port
+		if f.IsTail() {
+			op.owner[v.outVC] = nil
+			v.stage = stIdle
+			v.outPort, v.outVC = -1, -1
+		}
+	}
+}
+
+// vcAllocate grants free output VCs to input VCs in WaitVCA, starting from
+// a rotating offset into the active list for fairness.
+func (r *Router) vcAllocate() {
+	na := len(r.active)
+	if na == 0 {
+		return
+	}
+	start := r.vcaPtr % na
+	for i := 0; i < na; i++ {
+		v := r.active[(start+i)%na]
+		if v.stage != stWaitVCA {
+			continue
+		}
+		op := r.out[v.outPort]
+		for ovc := 0; ovc < r.Cfg.NumVCs; ovc++ {
+			if v.vcMask&(1<<uint(ovc)) == 0 || op.owner[ovc] != nil {
+				continue
+			}
+			op.owner[ovc] = v
+			v.outVC = ovc
+			v.stage = stActive
+			r.Cfg.Meter.VCAArb()
+			break
+		}
+	}
+	r.vcaPtr++
+}
+
+// routeCompute runs RC for idle VCs whose buffer front is a head flit.
+func (r *Router) routeCompute() {
+	for _, v := range r.active {
+		if v.stage != stIdle || v.size == 0 {
+			continue
+		}
+		f := v.front()
+		if !f.IsHead() {
+			panic(fmt.Sprintf("router %d: non-head flit (pkt %d seq %d) at front of idle VC %d/%d",
+				r.Cfg.ID, f.Pkt.ID, f.Seq, v.port, v.vc))
+		}
+		outPort, mask := r.Cfg.Route(f.Pkt, v.port)
+		if outPort < 0 || outPort >= r.Cfg.NumPorts || r.out[outPort] == nil {
+			panic(fmt.Sprintf("router %d: route for pkt %d (src %d dst %d, in %d) gave invalid out port %d",
+				r.Cfg.ID, f.Pkt.ID, f.Pkt.Src, f.Pkt.Dst, v.port, outPort))
+		}
+		if mask == 0 {
+			panic(fmt.Sprintf("router %d: empty VC mask for pkt %d", r.Cfg.ID, f.Pkt.ID))
+		}
+		v.outPort = outPort
+		v.vcMask = mask
+		v.stage = stWaitVCA
+	}
+}
+
+// compactActive drops VCs with no buffered flits from the active list;
+// they are re-activated when a flit arrives.
+func (r *Router) compactActive() {
+	w := 0
+	for _, v := range r.active {
+		if v.size > 0 {
+			r.active[w] = v
+			w++
+		} else {
+			v.inActive = false
+		}
+	}
+	for i := w; i < len(r.active); i++ {
+		r.active[i] = nil
+	}
+	r.active = r.active[:w]
+}
+
+// rrBefore reports whether candidate a beats candidate b under a
+// round-robin priority whose last grant was `last` (lower distance from
+// last+1 wins), over a ring of size n.
+func rrBefore(last, a, b, n int) bool {
+	da := (a - last - 1 + 2*n) % n
+	db := (b - last - 1 + 2*n) % n
+	return da < db
+}
+
+// CheckInvariants validates internal consistency; tests call it after
+// simulation. It returns an error describing the first violation found.
+func (r *Router) CheckInvariants() error {
+	for p, op := range r.out {
+		if op == nil {
+			continue
+		}
+		for vc, c := range op.credits {
+			if c < 0 || c > op.maxCredits {
+				return fmt.Errorf("router %d out %d vc %d: credits %d out of [0,%d]", r.Cfg.ID, p, vc, c, op.maxCredits)
+			}
+		}
+		for vc, own := range op.owner {
+			if own != nil && (own.outPort != p || own.outVC != vc) {
+				return fmt.Errorf("router %d out %d vc %d: inconsistent owner", r.Cfg.ID, p, vc)
+			}
+		}
+	}
+	for p, ip := range r.in {
+		if ip == nil {
+			continue
+		}
+		for vc, v := range ip.vcs {
+			if v.size < 0 || v.size > r.Cfg.BufDepth {
+				return fmt.Errorf("router %d in %d vc %d: size %d", r.Cfg.ID, p, vc, v.size)
+			}
+		}
+	}
+	return nil
+}
+
+// BufferedFlits returns the total number of flits currently buffered, used
+// by drain loops and conservation checks.
+func (r *Router) BufferedFlits() int {
+	total := 0
+	for _, ip := range r.in {
+		if ip == nil {
+			continue
+		}
+		for _, v := range ip.vcs {
+			total += v.size
+		}
+	}
+	return total
+}
+
+// InputConnected reports whether input port p has been connected.
+func (r *Router) InputConnected(p int) bool { return r.in[p] != nil }
+
+// OutputConnected reports whether output port p has been connected.
+func (r *Router) OutputConnected(p int) bool { return r.out[p] != nil }

@@ -1,0 +1,64 @@
+package router
+
+import (
+	"fmt"
+
+	"ownsim/internal/noc"
+)
+
+// Sink is the ejection endpoint of one core. It implements
+// noc.FlitReceiver; the channel feeding it supplies credits through the
+// usual CreditReturner path, which the sink releases immediately (ejection
+// buffers drain into the core at full rate).
+type Sink struct {
+	// CoreID is the terminal identifier.
+	CoreID int
+	// OnPacket is invoked when a packet's tail flit arrives, with the
+	// ejection cycle. The statistics collector hooks in here.
+	OnPacket func(p *noc.Packet, cycle uint64)
+
+	upstream noc.CreditReturner
+	now      uint64
+
+	expected map[uint64]int // packet ID -> next expected seq, for ordering checks
+	// Ejected counts completed packets.
+	Ejected uint64
+}
+
+// NewSink creates a sink for the given core.
+func NewSink(coreID int) *Sink {
+	return &Sink{CoreID: coreID, expected: make(map[uint64]int)}
+}
+
+// SetUpstream installs the credit-return path of the channel feeding this
+// sink. Must be called before simulation.
+func (s *Sink) SetUpstream(u noc.CreditReturner) { s.upstream = u }
+
+// Tick implements sim.Ticker; it runs in the Delivery phase purely to
+// track the current cycle (sinks must be registered before the wires that
+// feed them).
+func (s *Sink) Tick(cycle uint64) { s.now = cycle }
+
+// ReceiveFlit implements noc.FlitReceiver.
+func (s *Sink) ReceiveFlit(_ int, f *noc.Flit) {
+	p := f.Pkt
+	if p.Dst != s.CoreID {
+		panic(fmt.Sprintf("sink %d: misrouted packet %d (src %d dst %d)", s.CoreID, p.ID, p.Src, p.Dst))
+	}
+	if want := s.expected[p.ID]; f.Seq != want {
+		panic(fmt.Sprintf("sink %d: packet %d flit out of order: seq %d, want %d", s.CoreID, p.ID, f.Seq, want))
+	}
+	s.expected[p.ID] = f.Seq + 1
+	// Ejection buffer drains immediately; return the credit.
+	if s.upstream != nil {
+		s.upstream.ReturnCredit(f.VC)
+	}
+	if f.IsTail() {
+		delete(s.expected, p.ID)
+		p.EjectedAt = s.now
+		s.Ejected++
+		if s.OnPacket != nil {
+			s.OnPacket(p, s.now)
+		}
+	}
+}

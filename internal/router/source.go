@@ -1,0 +1,192 @@
+package router
+
+import (
+	"fmt"
+
+	"ownsim/internal/noc"
+)
+
+// Generator produces at most one new packet per cycle for one source; nil
+// means no packet this cycle. The traffic package provides implementations
+// of the paper's synthetic patterns.
+type Generator interface {
+	Generate(cycle uint64) *noc.Packet
+}
+
+// VCPolicy returns the bit mask of injection VCs a packet may use. The
+// topology installs one per source to enforce its deadlock-avoidance
+// discipline from the very first hop.
+type VCPolicy func(p *noc.Packet) uint32
+
+// Source is the network interface of one core: it queues generated
+// packets and injects their flits into a router input port through a
+// conduit, subject to downstream credits. Injection bandwidth is one flit
+// per cycle, matching the core-router port width.
+type Source struct {
+	// CoreID is the terminal identifier.
+	CoreID int
+	// Gen produces traffic; may be nil for a silent source.
+	Gen Generator
+	// Policy restricts injection VCs; nil allows all.
+	Policy VCPolicy
+	// MaxQueue bounds the source queue; packets generated while the
+	// queue is full are dropped and counted in Dropped (this models
+	// offered vs. accepted load beyond saturation). Zero means 1024.
+	MaxQueue int
+	// OnAccepted is invoked for every packet admitted to the source
+	// queue; the statistics collector hooks in here.
+	OnAccepted func(p *noc.Packet)
+
+	out     noc.Conduit
+	numVCs  int
+	credits []int
+
+	queue    pktQueue
+	inflight []*noc.Flit // flits of the packet being injected
+	nextFlit int
+	curVC    int
+	rrVC     int
+
+	// Counters.
+	Generated uint64
+	Injected  uint64
+	Dropped   uint64
+}
+
+// NewSource creates a source injecting into the given conduit (typically a
+// Wire to a router core port). numVCs and creditsPerVC describe the
+// downstream input buffer.
+func NewSource(coreID int, out noc.Conduit, numVCs, creditsPerVC int) *Source {
+	s := &Source{
+		CoreID:   coreID,
+		MaxQueue: 1024,
+		out:      out,
+		numVCs:   numVCs,
+		credits:  make([]int, numVCs),
+		curVC:    -1,
+	}
+	for i := range s.credits {
+		s.credits[i] = creditsPerVC
+	}
+	return s
+}
+
+// SetConduit installs the outgoing channel after construction; sources and
+// their wires reference each other, so one of the two must be attached
+// late.
+func (s *Source) SetConduit(out noc.Conduit) { s.out = out }
+
+// ReceiveCredit implements noc.CreditReceiver (port is ignored; a source
+// has a single output).
+func (s *Source) ReceiveCredit(_, vc int) {
+	s.credits[vc]++
+}
+
+// QueueLen returns the number of packets waiting in the source queue.
+func (s *Source) QueueLen() int { return s.queue.size }
+
+// Busy reports whether the source still has queued or in-flight flits.
+func (s *Source) Busy() bool { return s.queue.size > 0 || s.inflight != nil }
+
+// Tick implements sim.Ticker; it runs in the Compute phase.
+func (s *Source) Tick(cycle uint64) {
+	if s.Gen != nil {
+		if p := s.Gen.Generate(cycle); p != nil {
+			p.CreatedAt = cycle
+			s.Generated++
+			if s.queue.size >= s.maxQueue() {
+				s.Dropped++
+			} else {
+				s.queue.push(p)
+				if s.OnAccepted != nil {
+					s.OnAccepted(p)
+				}
+			}
+		}
+	}
+	// Start a new packet if idle.
+	if s.inflight == nil && s.queue.size > 0 {
+		p := s.queue.front()
+		vc := s.pickVC(p)
+		if vc >= 0 {
+			s.queue.pop()
+			s.inflight = noc.MakeFlits(p)
+			s.nextFlit = 0
+			s.curVC = vc
+			p.InjectedAt = cycle
+			s.Injected++
+		}
+	}
+	// Send one flit per cycle when credits allow.
+	if s.inflight != nil && s.credits[s.curVC] > 0 {
+		f := s.inflight[s.nextFlit]
+		f.VC = s.curVC
+		s.credits[s.curVC]--
+		s.out.Send(f)
+		s.nextFlit++
+		if s.nextFlit == len(s.inflight) {
+			s.inflight = nil
+			s.curVC = -1
+		}
+	}
+}
+
+func (s *Source) maxQueue() int {
+	if s.MaxQueue <= 0 {
+		return 1024
+	}
+	return s.MaxQueue
+}
+
+// pickVC chooses a permitted injection VC with at least one credit, round
+// robin; -1 if none is available this cycle.
+func (s *Source) pickVC(p *noc.Packet) int {
+	mask := uint32(1<<uint(s.numVCs)) - 1
+	if s.Policy != nil {
+		mask = s.Policy(p)
+		if mask == 0 {
+			panic(fmt.Sprintf("source %d: empty VC policy mask for packet to %d", s.CoreID, p.Dst))
+		}
+	}
+	for i := 1; i <= s.numVCs; i++ {
+		vc := (s.rrVC + i) % s.numVCs
+		if mask&(1<<uint(vc)) != 0 && s.credits[vc] > 0 {
+			s.rrVC = vc
+			return vc
+		}
+	}
+	return -1
+}
+
+// pktQueue is a ring-buffer FIFO of packets.
+type pktQueue struct {
+	buf        []*noc.Packet
+	head, size int
+}
+
+func (q *pktQueue) push(p *noc.Packet) {
+	if q.size == len(q.buf) {
+		n := len(q.buf) * 2
+		if n == 0 {
+			n = 16
+		}
+		nb := make([]*noc.Packet, n)
+		for i := 0; i < q.size; i++ {
+			nb[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf = nb
+		q.head = 0
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = p
+	q.size++
+}
+
+func (q *pktQueue) front() *noc.Packet { return q.buf[q.head] }
+
+func (q *pktQueue) pop() *noc.Packet {
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	return p
+}

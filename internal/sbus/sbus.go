@@ -1,0 +1,362 @@
+// Package sbus implements the shared serialized channel with token
+// arbitration that underlies both the photonic waveguide buses (MWSR: many
+// writers, one home-tile reader) and the wireless channels (point-to-point
+// in OWN-256; SWMR multicast with a rotating transmit token in OWN-1024).
+//
+// A Channel has W writers and R receivers. Writers hold per-VC queues fed
+// by an upstream router output port; the channel grants the medium to one
+// (writer, VC) pair at a time, holds it for a whole packet (head through
+// tail, as in Corona-style token arbitration), serializes each flit for
+// SerializeCy cycles and delivers it PropCy cycles later to the receiver
+// selected by SelectRx. Moving the grant token from writer i to writer j
+// costs ring-distance(i, j) * TokenHopCy cycles, which is the "token
+// transfer consumes a few extra cycles" effect the paper observes on the
+// optical crossbar.
+package sbus
+
+import (
+	"fmt"
+
+	"ownsim/internal/noc"
+)
+
+// Channel is one shared medium.
+type Channel struct {
+	// Name aids debugging ("cluster2/home5", "wl A0->B2", ...).
+	Name string
+	// SerializeCy is the cycles the medium is occupied per flit.
+	SerializeCy int
+	// PropCy is the additional flight time after serialization.
+	PropCy int
+	// TokenHopCy is the token-passing cost per writer-ring position.
+	TokenHopCy int
+	// SelectRx maps a packet to the receiver index that must accept it.
+	// Required when there is more than one receiver.
+	SelectRx func(p *noc.Packet) int
+	// OnTransmit observes every transmitted flit together with its
+	// receiver index; energy models hook in here.
+	OnTransmit func(f *noc.Flit, rx int)
+
+	writers []*Writer
+	rxs     []*Rx
+
+	token       int
+	lockedW     int // -1 when free
+	lockedVC    int
+	lockedRx    int
+	busyUntil   uint64
+	totalQueued int
+
+	inflight flightQueue
+
+	// Telemetry, exposed through Stats.
+	nTransmitted uint64
+	busyCy       uint64
+	tokenMoves   uint64
+	creditStall  uint64
+}
+
+// NewChannel creates an empty channel; add writers and receivers before
+// simulation.
+func NewChannel(name string, serializeCy, propCy, tokenHopCy int) *Channel {
+	if serializeCy < 1 {
+		serializeCy = 1
+	}
+	if propCy < 0 {
+		propCy = 0
+	}
+	return &Channel{
+		Name:        name,
+		SerializeCy: serializeCy,
+		PropCy:      propCy,
+		TokenHopCy:  tokenHopCy,
+		lockedW:     -1,
+	}
+}
+
+// Writer is one transmit port on the channel; it implements noc.Conduit
+// for the upstream router output port, which sees the per-VC queue depth
+// as its credit count.
+type Writer struct {
+	ch      *Channel
+	idx     int
+	src     noc.CreditReceiver
+	srcPort int
+	queues  []flitFIFO
+	rrVC    int
+}
+
+// AddWriter attaches a writer whose upstream output port is (src,
+// srcPort), with numVCs queues of queueDepth flits each. The upstream
+// port must be connected with exactly queueDepth credits per VC.
+func (c *Channel) AddWriter(src noc.CreditReceiver, srcPort, numVCs, queueDepth int) *Writer {
+	w := &Writer{ch: c, idx: len(c.writers), src: src, srcPort: srcPort, queues: make([]flitFIFO, numVCs)}
+	for i := range w.queues {
+		w.queues[i].init(queueDepth)
+	}
+	c.writers = append(c.writers, w)
+	return w
+}
+
+// Send implements noc.Conduit.
+func (w *Writer) Send(f *noc.Flit) {
+	q := &w.queues[f.VC]
+	if q.full() {
+		panic(fmt.Sprintf("sbus %s: writer %d vc %d queue overflow", w.ch.Name, w.idx, f.VC))
+	}
+	q.push(f)
+	w.ch.totalQueued++
+}
+
+// Rx is one receive port: it forwards delivered flits into a router input
+// port and implements noc.CreditReturner for that port's buffer slots.
+type Rx struct {
+	ch      *Channel
+	idx     int
+	dst     noc.FlitReceiver
+	dstPort int
+	credits []int
+	maxCred int
+}
+
+// AddRx attaches a receiver delivering into (dst, dstPort) with
+// creditsPerVC buffer slots per VC. Install the returned Rx as the
+// upstream of that input port.
+func (c *Channel) AddRx(dst noc.FlitReceiver, dstPort, numVCs, creditsPerVC int) *Rx {
+	r := &Rx{ch: c, idx: len(c.rxs), dst: dst, dstPort: dstPort, credits: make([]int, numVCs), maxCred: creditsPerVC}
+	for i := range r.credits {
+		r.credits[i] = creditsPerVC
+	}
+	c.rxs = append(c.rxs, r)
+	return r
+}
+
+// ReturnCredit implements noc.CreditReturner.
+func (r *Rx) ReturnCredit(vc int) {
+	r.credits[vc]++
+	if r.credits[vc] > r.maxCred {
+		panic(fmt.Sprintf("sbus %s: rx %d vc %d credit overflow", r.ch.Name, r.idx, vc))
+	}
+}
+
+type flight struct {
+	at uint64
+	f  *noc.Flit
+	rx int
+}
+
+// Tick implements sim.Ticker (Delivery phase): deliver due flits, then
+// advance arbitration/serialization.
+func (c *Channel) Tick(cycle uint64) {
+	for {
+		fl, ok := c.inflight.peek()
+		if !ok || fl.at > cycle {
+			break
+		}
+		c.inflight.pop()
+		c.rxs[fl.rx].dst.ReceiveFlit(c.rxs[fl.rx].dstPort, fl.f)
+	}
+	if c.busyUntil > cycle {
+		return
+	}
+	if c.lockedW >= 0 {
+		c.transmitLocked(cycle)
+		return
+	}
+	if c.totalQueued > 0 {
+		c.acquire(cycle)
+	}
+}
+
+// transmitLocked sends the next flit of the packet holding the channel,
+// if it has arrived and the receiver has a buffer slot.
+func (c *Channel) transmitLocked(cycle uint64) {
+	w := c.writers[c.lockedW]
+	q := &w.queues[c.lockedVC]
+	if q.empty() {
+		return // wormhole gap: body flits still upstream
+	}
+	f := q.front()
+	rx := c.rxs[c.lockedRx]
+	if rx.credits[f.VC] <= 0 {
+		c.creditStall++
+		return
+	}
+	q.pop()
+	c.totalQueued--
+	c.nTransmitted++
+	c.busyCy += uint64(c.SerializeCy)
+	rx.credits[f.VC]--
+	if w.src != nil {
+		w.src.ReceiveCredit(w.srcPort, c.lockedVC)
+	}
+	c.busyUntil = cycle + uint64(c.SerializeCy)
+	c.inflight.push(flight{at: cycle + uint64(c.SerializeCy) + uint64(c.PropCy), f: f, rx: c.lockedRx})
+	if c.OnTransmit != nil {
+		c.OnTransmit(f, c.lockedRx)
+	}
+	if f.IsTail() {
+		c.lockedW = -1
+	}
+}
+
+// acquire moves the token to the next writer with a pending packet and
+// locks the channel onto one of its VCs.
+func (c *Channel) acquire(cycle uint64) {
+	n := len(c.writers)
+	// The token advances past the previous holder first (d starts at 1),
+	// wrapping all the way around back to it; this is what keeps a
+	// single busy writer from monopolizing the medium.
+	for d := 1; d <= n; d++ {
+		wi := (c.token + d) % n
+		w := c.writers[wi]
+		vc := w.nextPendingVC()
+		if vc < 0 {
+			continue
+		}
+		f := w.queues[vc].front()
+		if !f.IsHead() {
+			panic(fmt.Sprintf("sbus %s: writer %d vc %d front is %v, want head", c.Name, wi, vc, f.Type))
+		}
+		rxIdx := 0
+		if len(c.rxs) > 1 {
+			if c.SelectRx == nil {
+				panic(fmt.Sprintf("sbus %s: multiple receivers but no SelectRx", c.Name))
+			}
+			rxIdx = c.SelectRx(f.Pkt)
+			if rxIdx < 0 || rxIdx >= len(c.rxs) {
+				panic(fmt.Sprintf("sbus %s: SelectRx gave %d of %d", c.Name, rxIdx, len(c.rxs)))
+			}
+		}
+		c.lockedW, c.lockedVC, c.lockedRx = wi, vc, rxIdx
+		c.busyUntil = cycle + uint64(d*c.TokenHopCy)
+		c.token = wi
+		c.tokenMoves += uint64(d)
+		return
+	}
+}
+
+// nextPendingVC returns the writer's next VC with queued flits, round
+// robin, or -1.
+func (w *Writer) nextPendingVC() int {
+	n := len(w.queues)
+	for i := 1; i <= n; i++ {
+		vc := (w.rrVC + i) % n
+		if !w.queues[vc].empty() {
+			w.rrVC = vc
+			return vc
+		}
+	}
+	return -1
+}
+
+// Queued returns the number of flits waiting in writer queues plus in
+// flight, for drain checks.
+func (c *Channel) Queued() int { return c.totalQueued + c.inflight.size }
+
+// Stats is a channel's telemetry snapshot.
+type Stats struct {
+	// Name identifies the channel.
+	Name string
+	// Transmitted counts flits sent.
+	Transmitted uint64
+	// BusyCy is the cycles the medium spent serializing.
+	BusyCy uint64
+	// TokenMoves counts token hop-steps paid during arbitration.
+	TokenMoves uint64
+	// CreditStallCy counts cycles a locked packet waited on receiver
+	// credits.
+	CreditStallCy uint64
+}
+
+// Utilization returns the busy fraction over the given horizon.
+func (s Stats) Utilization(cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(s.BusyCy) / float64(cycles)
+}
+
+// Stats returns the channel's telemetry snapshot.
+func (c *Channel) Stats() Stats {
+	return Stats{
+		Name:          c.Name,
+		Transmitted:   c.nTransmitted,
+		BusyCy:        c.busyCy,
+		TokenMoves:    c.tokenMoves,
+		CreditStallCy: c.creditStall,
+	}
+}
+
+// CheckInvariants validates credit bounds.
+func (c *Channel) CheckInvariants() error {
+	for i, r := range c.rxs {
+		for vc, cr := range r.credits {
+			if cr < 0 || cr > r.maxCred {
+				return fmt.Errorf("sbus %s: rx %d vc %d credits %d out of [0,%d]", c.Name, i, vc, cr, r.maxCred)
+			}
+		}
+	}
+	return nil
+}
+
+// flitFIFO is a fixed-capacity ring buffer.
+type flitFIFO struct {
+	buf        []*noc.Flit
+	head, size int
+}
+
+func (q *flitFIFO) init(capacity int) { q.buf = make([]*noc.Flit, capacity) }
+func (q *flitFIFO) empty() bool       { return q.size == 0 }
+func (q *flitFIFO) full() bool        { return q.size == len(q.buf) }
+func (q *flitFIFO) front() *noc.Flit  { return q.buf[q.head] }
+
+func (q *flitFIFO) push(f *noc.Flit) {
+	q.buf[(q.head+q.size)%len(q.buf)] = f
+	q.size++
+}
+
+func (q *flitFIFO) pop() *noc.Flit {
+	f := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	return f
+}
+
+// flightQueue is an unbounded FIFO of in-flight flits (same-delay pushes
+// keep it deadline-ordered).
+type flightQueue struct {
+	buf        []flight
+	head, size int
+}
+
+func (q *flightQueue) push(v flight) {
+	if q.size == len(q.buf) {
+		n := len(q.buf) * 2
+		if n == 0 {
+			n = 8
+		}
+		nb := make([]flight, n)
+		for i := 0; i < q.size; i++ {
+			nb[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf = nb
+		q.head = 0
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = v
+	q.size++
+}
+
+func (q *flightQueue) peek() (flight, bool) {
+	if q.size == 0 {
+		return flight{}, false
+	}
+	return q.buf[q.head], true
+}
+
+func (q *flightQueue) pop() {
+	q.buf[q.head] = flight{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+}

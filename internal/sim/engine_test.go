@@ -1,0 +1,107 @@
+package sim
+
+import "testing"
+
+type recorder struct {
+	log    *[]int
+	id     int
+	cycles []uint64
+}
+
+func (r *recorder) Tick(c uint64) {
+	*r.log = append(*r.log, r.id)
+	r.cycles = append(r.cycles, c)
+}
+
+func TestEnginePhaseOrdering(t *testing.T) {
+	e := NewEngine()
+	var log []int
+	a := &recorder{log: &log, id: 1}
+	b := &recorder{log: &log, id: 2}
+	c := &recorder{log: &log, id: 3}
+	e.Register(PhaseCompute, b)
+	e.Register(PhaseDelivery, a)
+	e.Register(PhaseCollect, c)
+	e.Step()
+	want := []int{1, 2, 3}
+	if len(log) != len(want) {
+		t.Fatalf("got %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("phase order: got %v, want %v", log, want)
+		}
+	}
+}
+
+func TestEngineRegistrationOrderWithinPhase(t *testing.T) {
+	e := NewEngine()
+	var log []int
+	for i := 0; i < 5; i++ {
+		e.Register(PhaseCompute, &recorder{log: &log, id: i})
+	}
+	e.Step()
+	for i := 0; i < 5; i++ {
+		if log[i] != i {
+			t.Fatalf("registration order not preserved: %v", log)
+		}
+	}
+}
+
+func TestEngineCycleCount(t *testing.T) {
+	e := NewEngine()
+	r := &recorder{log: new([]int)}
+	e.Register(PhaseCompute, r)
+	e.Run(10)
+	if e.Cycle() != 10 {
+		t.Fatalf("Cycle() = %d, want 10", e.Cycle())
+	}
+	for i, c := range r.cycles {
+		if c != uint64(i) {
+			t.Fatalf("tick %d saw cycle %d", i, c)
+		}
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	counter := tickFunc(func(uint64) { n++ })
+	e.Register(PhaseCompute, counter)
+	ok := e.RunUntil(func() bool { return n >= 7 }, 100)
+	if !ok || n != 7 {
+		t.Fatalf("RunUntil: ok=%v n=%d, want ok=true n=7", ok, n)
+	}
+	ok = e.RunUntil(func() bool { return false }, 5)
+	if ok {
+		t.Fatal("RunUntil reported success for unreachable condition")
+	}
+	if e.Cycle() != 12 {
+		t.Fatalf("Cycle() = %d, want 12", e.Cycle())
+	}
+}
+
+func TestEngineInvalidPhasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on invalid phase")
+		}
+	}()
+	NewEngine().Register(Phase(99), tickFunc(func(uint64) {}))
+}
+
+func TestEngineComponents(t *testing.T) {
+	e := NewEngine()
+	e.Register(PhaseCompute, tickFunc(func(uint64) {}))
+	e.Register(PhaseCompute, tickFunc(func(uint64) {}))
+	if got := e.Components(PhaseCompute); got != 2 {
+		t.Fatalf("Components = %d, want 2", got)
+	}
+	if got := e.Components(Phase(-1)); got != 0 {
+		t.Fatalf("Components(invalid) = %d, want 0", got)
+	}
+}
+
+type tickFunc func(uint64)
+
+func (f tickFunc) Tick(c uint64) { f(c) }

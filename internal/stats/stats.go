@@ -1,0 +1,228 @@
+// Package stats collects and summarizes network performance metrics:
+// per-packet latency (mean, p99, max), accepted throughput in
+// flits/node/cycle, and saturation analysis over load-latency curves.
+//
+// Methodology follows the paper's cycle-accurate evaluation: a warmup
+// window is discarded, packets created during the measurement window are
+// tagged and tracked to ejection (simulations drain until all tagged
+// packets arrive), and throughput is the flit ejection rate during the
+// measurement window normalized per node.
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"ownsim/internal/noc"
+)
+
+// Collector accumulates packet statistics for one simulation run. It is
+// not safe for concurrent use; each network owns one.
+type Collector struct {
+	NumNodes    int
+	MeasureFrom uint64
+	MeasureTo   uint64
+
+	createdMeasured uint64
+	ejectedMeasured uint64
+
+	latencySum    float64
+	netLatencySum float64
+	latencyMax    uint64
+	hopSum        uint64
+	hopMax        int
+
+	// windowFlits counts flits of packets ejected inside the
+	// measurement window regardless of creation time (throughput).
+	windowFlits uint64
+
+	// hist buckets latencies by power of two for percentile estimates.
+	hist [40]uint64
+}
+
+// NewCollector creates a collector for a run measuring cycles
+// [measureFrom, measureTo) across numNodes terminals.
+func NewCollector(numNodes int, measureFrom, measureTo uint64) *Collector {
+	if measureTo <= measureFrom || numNodes <= 0 {
+		panic("stats: invalid measurement window")
+	}
+	return &Collector{NumNodes: numNodes, MeasureFrom: measureFrom, MeasureTo: measureTo}
+}
+
+// OnCreated notes a newly generated packet (fabric calls it for every
+// packet accepted into a source queue).
+func (c *Collector) OnCreated(p *noc.Packet) {
+	if p.Measure {
+		c.createdMeasured++
+	}
+}
+
+// OnEjected notes a packet whose tail flit reached its sink.
+func (c *Collector) OnEjected(p *noc.Packet, cycle uint64) {
+	if cycle >= c.MeasureFrom && cycle < c.MeasureTo {
+		c.windowFlits += uint64(p.NumFlits)
+	}
+	if !p.Measure {
+		return
+	}
+	c.ejectedMeasured++
+	lat := p.Latency()
+	c.latencySum += float64(lat)
+	c.netLatencySum += float64(p.NetworkLatency())
+	if lat > c.latencyMax {
+		c.latencyMax = lat
+	}
+	c.hopSum += uint64(p.Hops)
+	if p.Hops > c.hopMax {
+		c.hopMax = p.Hops
+	}
+	b := 0
+	for l := lat; l > 0; l >>= 1 {
+		b++
+	}
+	if b >= len(c.hist) {
+		b = len(c.hist) - 1
+	}
+	c.hist[b]++
+}
+
+// Pending returns the number of measured packets still in flight; drain
+// loops run until it reaches zero.
+func (c *Collector) Pending() uint64 { return c.createdMeasured - c.ejectedMeasured }
+
+// Summary is the digest of one simulation run.
+type Summary struct {
+	// Packets is the number of measured packets ejected.
+	Packets uint64
+	// AvgLatency is the mean total (queueing + network) packet latency
+	// in cycles.
+	AvgLatency float64
+	// AvgNetLatency excludes source queueing.
+	AvgNetLatency float64
+	// P99Latency is an upper estimate from power-of-two buckets.
+	P99Latency uint64
+	// MaxLatency is the worst measured packet latency.
+	MaxLatency uint64
+	// AvgHops is the mean router traversals per packet.
+	AvgHops float64
+	// MaxHops is the largest hop count seen (checked against topology
+	// diameters in tests).
+	MaxHops int
+	// Throughput is accepted flits per node per cycle during the
+	// measurement window.
+	Throughput float64
+}
+
+// String renders the summary as a single line.
+func (s Summary) String() string {
+	return fmt.Sprintf("pkts=%d avgLat=%.1f p99<=%d maxLat=%d avgHops=%.2f thr=%.4f f/n/c",
+		s.Packets, s.AvgLatency, s.P99Latency, s.MaxLatency, s.AvgHops, s.Throughput)
+}
+
+// Summary computes the run digest.
+func (c *Collector) Summary() Summary {
+	s := Summary{Packets: c.ejectedMeasured, MaxLatency: c.latencyMax, MaxHops: c.hopMax}
+	if c.ejectedMeasured > 0 {
+		s.AvgLatency = c.latencySum / float64(c.ejectedMeasured)
+		s.AvgNetLatency = c.netLatencySum / float64(c.ejectedMeasured)
+		s.AvgHops = float64(c.hopSum) / float64(c.ejectedMeasured)
+	}
+	window := c.MeasureTo - c.MeasureFrom
+	s.Throughput = float64(c.windowFlits) / float64(window) / float64(c.NumNodes)
+	// p99 from buckets: find the bucket containing the 99th percentile
+	// and report its upper bound.
+	if c.ejectedMeasured > 0 {
+		target := uint64(math.Ceil(float64(c.ejectedMeasured) * 0.99))
+		var cum uint64
+		for b, n := range c.hist {
+			cum += n
+			if cum >= target {
+				s.P99Latency = 1 << uint(b)
+				break
+			}
+		}
+		if s.P99Latency > c.latencyMax {
+			s.P99Latency = c.latencyMax
+		}
+	}
+	return s
+}
+
+// CurvePoint is one sample of a load-latency sweep.
+type CurvePoint struct {
+	// Load is offered load in flits/node/cycle.
+	Load float64
+	// Latency is average packet latency at that load (cycles).
+	Latency float64
+	// Throughput is accepted flits/node/cycle.
+	Throughput float64
+	// Saturated marks runs that failed to drain or exceeded the latency
+	// threshold.
+	Saturated bool
+}
+
+// SaturationLoad returns the offered load at which latency crosses
+// threshold x zero-load latency, linearly interpolated between samples.
+// Points must be sorted by Load ascending; the first point's latency is
+// taken as the zero-load latency. If no crossing occurs the highest
+// sampled load is returned.
+func SaturationLoad(points []CurvePoint, threshold float64) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	zero := points[0].Latency
+	limit := zero * threshold
+	for i := 1; i < len(points); i++ {
+		p := points[i]
+		if p.Saturated || p.Latency >= limit {
+			prev := points[i-1]
+			if p.Saturated || p.Latency == prev.Latency {
+				return prev.Load
+			}
+			// Linear interpolation of the crossing.
+			t := (limit - prev.Latency) / (p.Latency - prev.Latency)
+			if t < 0 {
+				t = 0
+			}
+			if t > 1 {
+				t = 1
+			}
+			return prev.Load + t*(p.Load-prev.Load)
+		}
+	}
+	return points[len(points)-1].Load
+}
+
+// CapacityLoad returns the highest offered load at which accepted
+// throughput still tracks offered load within the given fraction
+// (e.g. 0.92), linearly interpolated. This is the knee of the
+// latency-load curve — the "saturates at the highest network load"
+// comparison of the paper's Figure 7(b,c) — and unlike a multiple of
+// zero-load latency it does not penalize architectures with very low
+// base latency.
+func CapacityLoad(points []CurvePoint, frac float64) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	prevOK := points[0].Load
+	for _, p := range points {
+		ok := !p.Saturated && p.Throughput >= frac*p.Load
+		if !ok {
+			return prevOK
+		}
+		prevOK = p.Load
+	}
+	return prevOK
+}
+
+// SaturationThroughput returns the highest accepted throughput across the
+// sampled points (the plateau value the paper's Figure 7(a) reports).
+func SaturationThroughput(points []CurvePoint) float64 {
+	best := 0.0
+	for _, p := range points {
+		if p.Throughput > best {
+			best = p.Throughput
+		}
+	}
+	return best
+}

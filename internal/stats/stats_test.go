@@ -1,0 +1,193 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ownsim/internal/noc"
+)
+
+func pkt(created, injected, ejected uint64, flits, hops int, measure bool) *noc.Packet {
+	return &noc.Packet{
+		CreatedAt: created, InjectedAt: injected, EjectedAt: ejected,
+		NumFlits: flits, Hops: hops, Measure: measure,
+	}
+}
+
+func TestCollectorBasics(t *testing.T) {
+	c := NewCollector(4, 100, 200)
+	p1 := pkt(100, 105, 150, 5, 3, true)
+	p2 := pkt(110, 110, 180, 5, 2, true)
+	c.OnCreated(p1)
+	c.OnCreated(p2)
+	c.OnEjected(p1, 150)
+	if c.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", c.Pending())
+	}
+	c.OnEjected(p2, 180)
+	s := c.Summary()
+	if s.Packets != 2 {
+		t.Fatalf("Packets = %d", s.Packets)
+	}
+	wantAvg := (50.0 + 70.0) / 2
+	if math.Abs(s.AvgLatency-wantAvg) > 1e-9 {
+		t.Fatalf("AvgLatency = %v, want %v", s.AvgLatency, wantAvg)
+	}
+	if s.MaxLatency != 70 {
+		t.Fatalf("MaxLatency = %d", s.MaxLatency)
+	}
+	if s.MaxHops != 3 || math.Abs(s.AvgHops-2.5) > 1e-9 {
+		t.Fatalf("hops: avg %v max %d", s.AvgHops, s.MaxHops)
+	}
+	// Throughput: 10 flits over 100-cycle window across 4 nodes.
+	if math.Abs(s.Throughput-10.0/100/4) > 1e-12 {
+		t.Fatalf("Throughput = %v", s.Throughput)
+	}
+}
+
+func TestUnmeasuredPacketsCountOnlyWindowFlits(t *testing.T) {
+	c := NewCollector(2, 100, 200)
+	warm := pkt(50, 50, 150, 5, 1, false) // ejects inside window
+	c.OnCreated(warm)
+	c.OnEjected(warm, 150)
+	s := c.Summary()
+	if s.Packets != 0 {
+		t.Fatal("unmeasured packet counted in latency stats")
+	}
+	if s.Throughput == 0 {
+		t.Fatal("window flits should count toward throughput")
+	}
+	if c.Pending() != 0 {
+		t.Fatal("unmeasured packets must not pend")
+	}
+}
+
+func TestEjectionOutsideWindowExcludedFromThroughput(t *testing.T) {
+	c := NewCollector(2, 100, 200)
+	late := pkt(150, 150, 250, 5, 1, true)
+	c.OnCreated(late)
+	c.OnEjected(late, 250)
+	s := c.Summary()
+	if s.Throughput != 0 {
+		t.Fatalf("Throughput = %v, want 0 (ejected after window)", s.Throughput)
+	}
+	if s.Packets != 1 {
+		t.Fatal("measured packet should still contribute latency")
+	}
+}
+
+func TestP99Estimate(t *testing.T) {
+	c := NewCollector(1, 0, 1000)
+	// Nearest-rank p99 of 100 samples is rank 99; with 97 fast and 3
+	// slow packets, rank 99 lands on a slow one.
+	for i := 0; i < 97; i++ {
+		p := pkt(0, 0, 10, 1, 1, true)
+		c.OnCreated(p)
+		c.OnEjected(p, 10)
+	}
+	for i := 0; i < 3; i++ {
+		slow := pkt(0, 0, 900, 1, 1, true)
+		c.OnCreated(slow)
+		c.OnEjected(slow, 900)
+	}
+	s := c.Summary()
+	if s.P99Latency < 512 || s.P99Latency > 900 {
+		t.Fatalf("P99 = %d, want in [512, 900]", s.P99Latency)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	c := NewCollector(1, 0, 10)
+	if !strings.Contains(c.Summary().String(), "pkts=0") {
+		t.Fatal("String missing packet count")
+	}
+}
+
+func TestInvalidWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCollector(1, 100, 100)
+}
+
+func TestSaturationLoadInterpolation(t *testing.T) {
+	pts := []CurvePoint{
+		{Load: 0.05, Latency: 20},
+		{Load: 0.10, Latency: 22},
+		{Load: 0.20, Latency: 30},
+		{Load: 0.30, Latency: 90}, // crosses 3x20=60 between 0.2 and 0.3
+		{Load: 0.40, Latency: 500, Saturated: true},
+	}
+	got := SaturationLoad(pts, 3.0)
+	want := 0.2 + (60.0-30.0)/(90.0-30.0)*0.1
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("SaturationLoad = %v, want %v", got, want)
+	}
+}
+
+func TestSaturationLoadNoCrossing(t *testing.T) {
+	pts := []CurvePoint{{Load: 0.1, Latency: 20}, {Load: 0.2, Latency: 25}}
+	if got := SaturationLoad(pts, 3.0); got != 0.2 {
+		t.Fatalf("got %v, want highest sampled load", got)
+	}
+}
+
+func TestSaturationLoadSaturatedPoint(t *testing.T) {
+	pts := []CurvePoint{
+		{Load: 0.1, Latency: 20},
+		{Load: 0.2, Latency: 20, Saturated: true},
+	}
+	if got := SaturationLoad(pts, 3.0); got != 0.1 {
+		t.Fatalf("got %v, want 0.1 (previous load)", got)
+	}
+}
+
+func TestSaturationLoadEmpty(t *testing.T) {
+	if SaturationLoad(nil, 3.0) != 0 {
+		t.Fatal("empty input should yield 0")
+	}
+}
+
+func TestSaturationThroughput(t *testing.T) {
+	pts := []CurvePoint{
+		{Throughput: 0.1}, {Throughput: 0.34}, {Throughput: 0.33},
+	}
+	if got := SaturationThroughput(pts); got != 0.34 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestCapacityLoad(t *testing.T) {
+	pts := []CurvePoint{
+		{Load: 0.1, Throughput: 0.1},
+		{Load: 0.2, Throughput: 0.2},
+		{Load: 0.3, Throughput: 0.25}, // accepted falls below 0.92*offered
+		{Load: 0.4, Throughput: 0.26, Saturated: true},
+	}
+	if got := CapacityLoad(pts, 0.92); got != 0.2 {
+		t.Fatalf("CapacityLoad = %v, want 0.2", got)
+	}
+}
+
+func TestCapacityLoadAllGood(t *testing.T) {
+	pts := []CurvePoint{
+		{Load: 0.1, Throughput: 0.1},
+		{Load: 0.2, Throughput: 0.2},
+	}
+	if got := CapacityLoad(pts, 0.92); got != 0.2 {
+		t.Fatalf("got %v, want highest load", got)
+	}
+	if CapacityLoad(nil, 0.92) != 0 {
+		t.Fatal("empty input should yield 0")
+	}
+}
+
+func TestCapacityLoadFirstPointSaturated(t *testing.T) {
+	pts := []CurvePoint{{Load: 0.1, Throughput: 0.01, Saturated: true}}
+	if got := CapacityLoad(pts, 0.92); got != 0.1 {
+		t.Fatalf("got %v (degenerate case returns first load)", got)
+	}
+}

@@ -1,0 +1,96 @@
+package topology
+
+import (
+	"ownsim/internal/fabric"
+	"ownsim/internal/noc"
+	"ownsim/internal/router"
+)
+
+// CMESH port layout: ports 0-3 are core terminals, 4-7 the mesh
+// directions. Radix 8, matching the paper.
+const (
+	cmPortCore  = 0 // .. 3
+	cmPortEast  = 4
+	cmPortWest  = 5
+	cmPortNorth = 6
+	cmPortSouth = 7
+	cmNumPorts  = 8
+)
+
+// CMeshHopMM is the inter-router wire length: a 50 mm (2x2 chiplets of
+// 25 mm) die with an 8x8 router grid at 256 cores; the 1024-core build
+// keeps the same per-hop length as the die scales with the grid.
+const CMeshHopMM = 6.25
+
+// BuildCMesh constructs the pure-electrical concentrated-mesh baseline:
+// n/4 radix-8 routers in a square grid with XY dimension-order routing
+// (deadlock-free, so all VCs are available to every packet).
+func BuildCMesh(p Params) *fabric.Network {
+	p.validate("cmesh")
+	nRouters := p.Cores / Concentration
+	side := isqrt(nRouters)
+	ser := EqualizedSerialize("cmesh", p.Cores)
+
+	n := fabric.New("cmesh", p.Cores, p.Meter)
+	// Max router traversals: (side-1) in each dimension plus the first.
+	n.Diameter = 2*(side-1) + 1
+
+	routers := make([]*router.Router, nRouters)
+	for r := 0; r < nRouters; r++ {
+		rid := r
+		routers[r] = n.AddRouter(router.Config{
+			ID:       rid,
+			NumPorts: cmNumPorts,
+			NumVCs:   NumVCs,
+			BufDepth: p.Depth(),
+			Route:    cmeshRoute(rid, side),
+		})
+	}
+	// Mesh links: Delay covers ST + transmission (serialization) + LT.
+	spec := fabric.LinkSpec{
+		Delay:       ser + 1,
+		CreditDelay: 1,
+		SerializeCy: ser,
+		LengthMM:    CMeshHopMM,
+	}
+	for r := 0; r < nRouters; r++ {
+		x, y := r%side, r/side
+		if x+1 < side {
+			e := r + 1
+			n.Connect(routers[r], cmPortEast, routers[e], cmPortWest, spec)
+			n.Connect(routers[e], cmPortWest, routers[r], cmPortEast, spec)
+		}
+		if y+1 < side {
+			s := r + side
+			n.Connect(routers[r], cmPortNorth, routers[s], cmPortSouth, spec)
+			n.Connect(routers[s], cmPortSouth, routers[r], cmPortNorth, spec)
+		}
+	}
+	for c := 0; c < p.Cores; c++ {
+		local := c % Concentration
+		n.AddTerminal(c, routers[c/Concentration], local, local)
+	}
+	return n
+}
+
+// cmeshRoute is XY dimension-order routing over the router grid.
+func cmeshRoute(rid, side int) router.RouteFunc {
+	rx, ry := rid%side, rid/side
+	const allVCs = uint32(1<<NumVCs) - 1
+	return func(p *noc.Packet, _ int) (int, uint32) {
+		dr := p.Dst / Concentration
+		dx, dy := dr%side, dr/side
+		switch {
+		case dx > rx:
+			return cmPortEast, allVCs
+		case dx < rx:
+			return cmPortWest, allVCs
+		case dy > ry:
+			return cmPortNorth, allVCs
+		case dy < ry:
+			return cmPortSouth, allVCs
+		default:
+			return p.Dst % Concentration, allVCs
+		}
+	}
+}

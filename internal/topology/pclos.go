@@ -1,0 +1,95 @@
+package topology
+
+import (
+	"ownsim/internal/fabric"
+	"ownsim/internal/noc"
+	"ownsim/internal/router"
+)
+
+// BuildPClos constructs the photonic-Clos baseline after Joshi et al.: an
+// unfolded three-stage Clos. Cores concentrate onto r ingress switches;
+// every ingress connects by point-to-point photonic links to m middle
+// switches, which connect on to r egress switches that eject to the
+// cores. Every packet therefore crosses exactly three switches and two
+// photonic links — one more switch traversal than the single-hop
+// crossbar, which is why the paper observes that p-Clos "consumes
+// slightly more than a crossbar since it has more hops and router power
+// adds up".
+//
+// At 256 cores: r = m = 8, 32 cores per ingress/egress. At 1024 cores:
+// r = m = 16, 64 cores per switch. Middle-stage selection is the
+// deterministic hash dstTile mod m, which spreads uniform traffic evenly
+// (per-link load 4*lambda, matching the equalized serialization).
+func BuildPClos(p Params) *fabric.Network {
+	p.validate("pclos")
+	var numStage int // switches per stage (r = m)
+	if p.Cores == 256 {
+		numStage = 8
+	} else {
+		numStage = 16
+	}
+	coresPerSwitch := p.Cores / numStage
+	ser := EqualizedSerialize("pclos", p.Cores)
+
+	n := fabric.New("pclos", p.Cores, p.Meter)
+	n.Diameter = 3
+
+	// Ingress: ports 0..cps-1 core inputs, cps..cps+m-1 links to
+	// middles. Egress mirrors it. Middle: ports 0..r-1 from ingresses,
+	// r..2r-1 to egresses.
+	ingress := make([]*router.Router, numStage)
+	middle := make([]*router.Router, numStage)
+	egress := make([]*router.Router, numStage)
+	const all = uint32(1<<NumVCs) - 1
+
+	for s := 0; s < numStage; s++ {
+		ingress[s] = n.AddRouter(router.Config{
+			ID:       s,
+			NumPorts: coresPerSwitch + numStage,
+			NumVCs:   NumVCs,
+			BufDepth: p.Depth(),
+			Route: func(pk *noc.Packet, _ int) (int, uint32) {
+				m := (pk.Dst / Concentration) % numStage
+				return coresPerSwitch + m, all
+			},
+		})
+		middle[s] = n.AddRouter(router.Config{
+			ID:       numStage + s,
+			NumPorts: 2 * numStage,
+			NumVCs:   NumVCs,
+			BufDepth: p.Depth(),
+			Route: func(pk *noc.Packet, _ int) (int, uint32) {
+				e := pk.Dst / coresPerSwitch
+				return numStage + e, all
+			},
+		})
+		egress[s] = n.AddRouter(router.Config{
+			ID:       2*numStage + s,
+			NumPorts: coresPerSwitch + numStage,
+			NumVCs:   NumVCs,
+			BufDepth: p.Depth(),
+			Route: func(pk *noc.Packet, _ int) (int, uint32) {
+				return pk.Dst % coresPerSwitch, all
+			},
+		})
+	}
+	spec := fabric.LinkSpec{
+		Delay:       ser + 2, // serialization + waveguide flight
+		CreditDelay: 2,
+		SerializeCy: ser,
+		Photonic:    true,
+	}
+	for i := 0; i < numStage; i++ {
+		for m := 0; m < numStage; m++ {
+			// ingress i -> middle m.
+			n.Connect(ingress[i], coresPerSwitch+m, middle[m], i, spec)
+			// middle m -> egress i (reuse the same index spaces).
+			n.Connect(middle[m], numStage+i, egress[i], coresPerSwitch+m, spec)
+		}
+	}
+	for c := 0; c < p.Cores; c++ {
+		local := c % coresPerSwitch
+		n.AddTerminalSplit(c, ingress[c/coresPerSwitch], local, egress[c/coresPerSwitch], local)
+	}
+	return n
+}

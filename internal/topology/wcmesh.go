@@ -1,0 +1,187 @@
+package topology
+
+import (
+	"fmt"
+
+	"ownsim/internal/fabric"
+	"ownsim/internal/noc"
+	"ownsim/internal/router"
+	"ownsim/internal/wireless"
+)
+
+// Wireless-CMESH port layout. Non-wireless routers use ports 0-6
+// (radix 7); the subnet's wireless router adds four directional wireless
+// ports for radix 11, matching the paper ("3 electrical, 4 wireless x-y
+// and 4 cores").
+const (
+	wcPortElec0 = 4 // ..6: full electrical crossbar within the subnet
+	wcPortWE    = 7 // wireless East (+x)
+	wcPortWW    = 8 // wireless West
+	wcPortWN    = 9 // wireless North (+y)
+	wcPortWS    = 10
+	wcNumPortsW = 11
+	wcNumPorts  = 7
+)
+
+// wcSubnetRouters is the number of routers per wireless cluster.
+const wcSubnetRouters = 4
+
+// WCMeshElecMM is the intra-subnet electrical hop length.
+const WCMeshElecMM = 3.0
+
+// WCMeshHopMM is the wireless grid hop distance (subnet pitch on the
+// 50 mm die).
+const WCMeshHopMM = 12.5
+
+// BuildWCMesh constructs the wireless-CMESH baseline (WCube-style): 4-core
+// routers grouped into 4-router subnets joined by an electrical crossbar;
+// one router per subnet carries a wireless transceiver, and the wireless
+// routers form a grid routed with XY DOR.
+//
+// Wireless link energy uses the Table III band plan at the band's native
+// technology but — unlike OWN — without the link-distance power scaling,
+// which is precisely the optimization the OWN channel allocation adds.
+func BuildWCMesh(p Params) *fabric.Network {
+	p.validate("wcmesh")
+	nRouters := p.Cores / Concentration
+	nSubnets := nRouters / wcSubnetRouters
+	side := isqrt(nSubnets) // 4 at 256 cores, 8 at 1024
+
+	n := fabric.New("wcmesh", p.Cores, p.Meter)
+	// src router, up to 2(side-1)+1 wireless routers, dst router.
+	n.Diameter = 2*(side-1) + 3
+
+	scen := wireless.Ideal
+	if p.wirelessBW() <= 16 {
+		scen = wireless.Conservative
+	}
+	bands := wireless.BandPlan(scen)
+	// The 4x4 (or 8x8) grid has 48 (224) directed links but the Table
+	// III plan offers only 16 bands; with x2 spatial reuse that is 32
+	// concurrent channels, so links time-share their band at a 2/3 duty
+	// cycle (dedicated channels would triple the spectrum budget OWN is
+	// held to). This is why wireless-CMESH saturates earlier than OWN
+	// in the paper's Figure 7(b,c).
+	serialize := WirelessCyPerFlit(p.wirelessBW() * 2.0 / 3.0)
+
+	routers := make([]*router.Router, nRouters)
+	for r := 0; r < nRouters; r++ {
+		rid := r
+		numPorts := wcNumPorts
+		if r%wcSubnetRouters == 0 {
+			numPorts = wcNumPortsW
+		}
+		routers[r] = n.AddRouter(router.Config{
+			ID:       rid,
+			NumPorts: numPorts,
+			NumVCs:   NumVCs,
+			BufDepth: p.Depth(),
+			Route:    wcmeshRoute(rid, side),
+		})
+	}
+
+	// Intra-subnet electrical crossbar (full mesh of 4 routers).
+	elec := fabric.LinkSpec{Delay: 2, CreditDelay: 1, SerializeCy: 1, LengthMM: WCMeshElecMM}
+	elecPort := func(from, to int) int {
+		if to < from {
+			return wcPortElec0 + to
+		}
+		return wcPortElec0 + to - 1
+	}
+	for s := 0; s < nSubnets; s++ {
+		base := s * wcSubnetRouters
+		for a := 0; a < wcSubnetRouters; a++ {
+			for b := 0; b < wcSubnetRouters; b++ {
+				if a == b {
+					continue
+				}
+				n.Connect(routers[base+a], elecPort(a, b), routers[base+b], elecPort(b, a), elec)
+			}
+		}
+	}
+
+	// Wireless grid among subnet routers, XY neighbours, one P2P channel
+	// per direction. Band assignment cycles through the full plan.
+	linkIdx := 0
+	addWL := func(sa, sb, portA, portB int) {
+		band := bands[linkIdx%len(bands)]
+		epb := band.EPBpJ(scen) // no LD scaling: WCMESH lacks OWN's optimization
+		wireless.BuildP2P(n,
+			wireless.Endpoint{Router: routers[sa*wcSubnetRouters], Port: portA},
+			wireless.Endpoint{Router: routers[sb*wcSubnetRouters], Port: portB},
+			wireless.LinkOpts{
+				Name:        fmt.Sprintf("wc-%d-%d", sa, sb),
+				ChannelID:   linkIdx,
+				EPBpJ:       epb,
+				SerializeCy: serialize,
+				PropCy:      1,
+				NumVCs:      NumVCs,
+				BufDepth:    p.Depth(),
+			})
+		linkIdx++
+	}
+	for s := 0; s < nSubnets; s++ {
+		x, y := s%side, s/side
+		if x+1 < side {
+			addWL(s, s+1, wcPortWE, wcPortWW)
+			addWL(s+1, s, wcPortWW, wcPortWE)
+		}
+		if y+1 < side {
+			addWL(s, s+side, wcPortWN, wcPortWS)
+			addWL(s+side, s, wcPortWS, wcPortWN)
+		}
+	}
+
+	for c := 0; c < p.Cores; c++ {
+		local := c % Concentration
+		n.AddTerminal(c, routers[c/Concentration], local, local)
+	}
+	return n
+}
+
+// wcmeshRoute: intra-subnet traffic crosses the electrical crossbar
+// directly; inter-subnet traffic goes to the subnet's wireless router,
+// XY DOR across the wireless grid, then electrically to the destination
+// router. The electrical up/down legs and the acyclic XY grid make the
+// route deadlock-free with all VCs available.
+func wcmeshRoute(rid, side int) router.RouteFunc {
+	const all = uint32(1<<NumVCs) - 1
+	subnet := rid / wcSubnetRouters
+	local := rid % wcSubnetRouters
+	sx, sy := subnet%side, subnet/side
+	elecPort := func(to int) int {
+		if to < local {
+			return wcPortElec0 + to
+		}
+		return wcPortElec0 + to - 1
+	}
+	return func(pk *noc.Packet, _ int) (int, uint32) {
+		dr := pk.Dst / Concentration
+		dSubnet := dr / wcSubnetRouters
+		dLocal := dr % wcSubnetRouters
+		if dSubnet == subnet {
+			if dLocal == local {
+				return pk.Dst % Concentration, all
+			}
+			return elecPort(dLocal), all
+		}
+		// Inter-subnet: reach the wireless router first.
+		if local != 0 {
+			return elecPort(0), all
+		}
+		dx, dy := dSubnet%side, dSubnet/side
+		switch {
+		case dx > sx:
+			return wcPortWE, all
+		case dx < sx:
+			return wcPortWW, all
+		case dy > sy:
+			return wcPortWN, all
+		case dy < sy:
+			return wcPortWS, all
+		default:
+			// dSubnet != subnet guarantees a differing coordinate.
+			panic(fmt.Sprintf("wcmesh: unroutable packet %d at router %d", pk.ID, rid))
+		}
+	}
+}

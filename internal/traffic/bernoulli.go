@@ -1,0 +1,131 @@
+package traffic
+
+import (
+	"ownsim/internal/noc"
+	"ownsim/internal/sim"
+)
+
+// Classifier assigns a topology-specific traffic class to a (src, dst)
+// pair; OWN-1024 uses it to pin inter-group directions to VCs. A nil
+// classifier yields class 0.
+type Classifier func(src, dst int) int
+
+// SizeDist is a bimodal packet-length distribution modeling real NoC
+// traffic: short control packets (coherence requests, acks) mixed with
+// long data packets (cache-line replies). The paper evaluates fixed
+// 5-flit packets; this is the knob for the request/reply extension.
+type SizeDist struct {
+	// ShortFlits and LongFlits are the two packet lengths.
+	ShortFlits, LongFlits int
+	// LongFrac is the probability of a long packet.
+	LongFrac float64
+}
+
+// Mean returns the expected packet length in flits.
+func (d SizeDist) Mean() float64 {
+	return float64(d.ShortFlits)*(1-d.LongFrac) + float64(d.LongFlits)*d.LongFrac
+}
+
+// sample draws one packet length.
+func (d SizeDist) sample(rng *sim.RNG) int {
+	if rng.Float64() < d.LongFrac {
+		return d.LongFlits
+	}
+	return d.ShortFlits
+}
+
+// RequestReply is a representative mix: 1-flit control packets and
+// 5-flit cache-line data packets, two thirds control.
+func RequestReply() SizeDist {
+	return SizeDist{ShortFlits: 1, LongFlits: 5, LongFrac: 1.0 / 3}
+}
+
+// Bernoulli is a router.Generator offering open-loop load: each cycle it
+// creates a packet with probability rate/pktFlits, so the offered load is
+// `rate` flits per node per cycle.
+type Bernoulli struct {
+	src      int
+	n        int
+	pattern  Pattern
+	pktFlits int
+	sizes    *SizeDist
+	prob     float64
+	rng      *sim.RNG
+	classify Classifier
+
+	// MeasureFrom/MeasureTo bound the measurement window in cycles;
+	// packets created inside it carry Measure=true.
+	MeasureFrom, MeasureTo uint64
+
+	// Stop, when non-zero, halts generation at that cycle (used by the
+	// drain phase).
+	Stop uint64
+
+	nextID uint64
+}
+
+// NewBernoulli creates a generator for core src out of n cores, offering
+// `rate` flits/node/cycle of `pattern` traffic in packets of pktFlits
+// flits. The seed should combine the run seed and src so that sources are
+// decorrelated but reproducible.
+func NewBernoulli(src, n int, pattern Pattern, rate float64, pktFlits int, seed uint64, classify Classifier) *Bernoulli {
+	if pktFlits <= 0 {
+		panic("traffic: pktFlits must be positive")
+	}
+	if rate < 0 || float64(pktFlits) <= 0 {
+		panic("traffic: invalid rate")
+	}
+	return &Bernoulli{
+		src:      src,
+		n:        n,
+		pattern:  pattern,
+		pktFlits: pktFlits,
+		prob:     rate / float64(pktFlits),
+		rng:      sim.NewRNG(seed*0x9e3779b97f4a7c15 + uint64(src) + 1),
+		classify: classify,
+	}
+}
+
+// SetSizes switches the generator to a bimodal length distribution while
+// preserving the offered load in flits/node/cycle.
+func (b *Bernoulli) SetSizes(d SizeDist) {
+	if d.ShortFlits <= 0 || d.LongFlits <= 0 || d.LongFrac < 0 || d.LongFrac > 1 {
+		panic("traffic: invalid size distribution")
+	}
+	rate := b.prob * float64(b.pktFlits)
+	b.sizes = &d
+	b.prob = rate / d.Mean()
+}
+
+// Generate implements router.Generator.
+func (b *Bernoulli) Generate(cycle uint64) *noc.Packet {
+	if b.Stop != 0 && cycle >= b.Stop {
+		return nil
+	}
+	if !b.rng.Bernoulli(b.prob) {
+		return nil
+	}
+	dst := Dest(b.pattern, b.src, b.n, b.rng)
+	if dst == b.src {
+		// Permutation fixed point: no network traversal needed.
+		return nil
+	}
+	b.nextID++
+	class := 0
+	if b.classify != nil {
+		class = b.classify(b.src, dst)
+	}
+	flits := b.pktFlits
+	if b.sizes != nil {
+		flits = b.sizes.sample(b.rng)
+	}
+	return &noc.Packet{
+		// Globally unique across sources: high bits carry the source.
+		ID:       uint64(b.src)<<40 | b.nextID,
+		Src:      b.src,
+		Dst:      dst,
+		NumFlits: flits,
+		Class:    class,
+		Measure:  cycle >= b.MeasureFrom && cycle < b.MeasureTo,
+	}
+}

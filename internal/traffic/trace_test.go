@@ -1,0 +1,145 @@
+package traffic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStencilTraceShape(t *testing.T) {
+	tr := StencilTrace(64, 3, 100, 1)
+	// 64 cores x 4 neighbours x 3 iterations.
+	if len(tr.Entries) != 64*4*3 {
+		t.Fatalf("entries = %d, want %d", len(tr.Entries), 64*4*3)
+	}
+	if err := tr.Validate(64); err != nil {
+		t.Fatal(err)
+	}
+	// Every destination is a grid neighbour (wraparound Manhattan
+	// distance 1 on an 8x8 grid).
+	for _, e := range tr.Entries {
+		sr, sc := e.Src/8, e.Src%8
+		dr, dc := e.Dst/8, e.Dst%8
+		wd := func(a, b, n int) int {
+			d := (a - b + n) % n
+			if n-d < d {
+				d = n - d
+			}
+			return d
+		}
+		if wd(sr, dr, 8)+wd(sc, dc, 8) != 1 {
+			t.Fatalf("non-neighbour send %d -> %d", e.Src, e.Dst)
+		}
+	}
+}
+
+func TestStencilTraceSorted(t *testing.T) {
+	tr := StencilTrace(16, 5, 50, 2)
+	for i := 1; i < len(tr.Entries); i++ {
+		if tr.Entries[i].Cycle < tr.Entries[i-1].Cycle {
+			t.Fatal("trace not sorted")
+		}
+	}
+}
+
+func TestAllReduceTraceRounds(t *testing.T) {
+	tr := AllReduceTrace(16, 0, 100)
+	// log2(16) = 4 rounds x 16 cores.
+	if len(tr.Entries) != 4*16 {
+		t.Fatalf("entries = %d, want 64", len(tr.Entries))
+	}
+	if err := tr.Validate(16); err != nil {
+		t.Fatal(err)
+	}
+	// Round k sends are XOR-2^k partner exchanges: a bijection.
+	for k := 0; k < 4; k++ {
+		seen := map[int]bool{}
+		for _, e := range tr.Entries {
+			if e.Cycle != uint64(k)*100 {
+				continue
+			}
+			if e.Dst != e.Src^(1<<uint(k)) {
+				t.Fatalf("round %d: %d -> %d not a partner exchange", k, e.Src, e.Dst)
+			}
+			if seen[e.Src] {
+				t.Fatalf("round %d: duplicate source %d", k, e.Src)
+			}
+			seen[e.Src] = true
+		}
+		if len(seen) != 16 {
+			t.Fatalf("round %d: %d sources, want 16", k, len(seen))
+		}
+	}
+}
+
+func TestTraceValidate(t *testing.T) {
+	tr := &Trace{Entries: []TraceEntry{{Src: 0, Dst: 99}}}
+	if err := tr.Validate(16); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	tr = &Trace{Entries: []TraceEntry{{Src: 3, Dst: 3}}}
+	if err := tr.Validate(16); err == nil {
+		t.Fatal("expected self-send error")
+	}
+}
+
+func TestReplayEmitsInOrder(t *testing.T) {
+	tr := &Trace{Entries: []TraceEntry{
+		{Cycle: 5, Src: 0, Dst: 1},
+		{Cycle: 5, Src: 0, Dst: 2}, // same cycle: emitted next cycle
+		{Cycle: 20, Src: 0, Dst: 3, Flits: 9},
+	}}
+	gens := tr.PerSource(4, 5, nil)
+	g := gens[0]
+	g.MeasureTo = 1000
+	var got []*TraceEntry
+	for c := uint64(0); c < 40; c++ {
+		if p := g.Generate(c); p != nil {
+			got = append(got, &TraceEntry{Cycle: c, Src: p.Src, Dst: p.Dst, Flits: p.NumFlits})
+		}
+	}
+	if len(got) != 3 {
+		t.Fatalf("emitted %d packets, want 3", len(got))
+	}
+	if got[0].Cycle != 5 || got[1].Cycle != 6 {
+		t.Fatalf("same-cycle entries must serialize: %d, %d", got[0].Cycle, got[1].Cycle)
+	}
+	if got[2].Flits != 9 {
+		t.Fatalf("explicit flit count ignored: %d", got[2].Flits)
+	}
+	if got[1].Flits != 5 {
+		t.Fatalf("default flit count = %d, want 5", got[1].Flits)
+	}
+	if !g.Done() {
+		t.Fatal("replay should be done")
+	}
+}
+
+func TestReplayOtherSourcesEmpty(t *testing.T) {
+	tr := &Trace{Entries: []TraceEntry{{Cycle: 0, Src: 1, Dst: 2}}}
+	gens := tr.PerSource(4, 5, nil)
+	if gens[0].Generate(0) != nil || !gens[0].Done() {
+		t.Fatal("source 0 has no entries")
+	}
+	if gens[1].Generate(0) == nil {
+		t.Fatal("source 1 should emit")
+	}
+}
+
+func TestStencilDeterministicProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := StencilTrace(16, 2, 40, seed)
+		b := StencilTrace(16, 2, 40, seed)
+		if len(a.Entries) != len(b.Entries) {
+			return false
+		}
+		for i := range a.Entries {
+			if a.Entries[i] != b.Entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package wireless
+
+import "fmt"
+
+// Config is one of the paper's four architecture configurations (Table
+// IV): an assignment of a device technology to each link-distance class.
+type Config int
+
+const (
+	// Config1 uses SiGe for long range, CMOS for medium and short.
+	Config1 Config = iota + 1
+	// Config2 uses CMOS for long range, BiCMOS for medium, SiGe for
+	// short.
+	Config2
+	// Config3 uses SiGe for long range, BiCMOS for medium, CMOS for
+	// short.
+	Config3
+	// Config4 uses CMOS for long and medium range, BiCMOS for short —
+	// the paper's best-power configuration, used for all Figure 6-8
+	// results.
+	Config4
+)
+
+// AllConfigs lists the Table IV configurations in order.
+func AllConfigs() []Config { return []Config{Config1, Config2, Config3, Config4} }
+
+// String implements fmt.Stringer.
+func (c Config) String() string { return fmt.Sprintf("config%d", int(c)) }
+
+// TechFor returns the technology Table IV assigns to the distance class.
+func (c Config) TechFor(d DistClass) Tech {
+	switch c {
+	case Config1:
+		switch d {
+		case C2C:
+			return SiGeHBT
+		case E2E, SR:
+			return CMOS
+		}
+	case Config2:
+		switch d {
+		case C2C:
+			return CMOS
+		case E2E:
+			return BiCMOS
+		case SR:
+			return SiGeHBT
+		}
+	case Config3:
+		switch d {
+		case C2C:
+			return SiGeHBT
+		case E2E:
+			return BiCMOS
+		case SR:
+			return CMOS
+		}
+	case Config4:
+		switch d {
+		case C2C, E2E:
+			return CMOS
+		case SR:
+			return BiCMOS
+		}
+	}
+	panic(fmt.Sprintf("wireless: bad config %d / class %d", int(c), int(d)))
+}

@@ -1,0 +1,45 @@
+package wireless_test
+
+import (
+	"fmt"
+
+	"ownsim/internal/wireless"
+)
+
+// The Table I channel between two clusters, with its distance class.
+func ExampleLinkBetween() {
+	l := wireless.LinkBetween(0, 2)
+	fmt.Printf("%s -> %s, %s, ~%.0f mm, LD %.2f\n",
+		l.TxAntenna, l.RxAntenna, l.Class, l.Class.NominalMM(), l.Class.LDFactor())
+	// Output:
+	// A0 -> B2, C2C, ~60 mm, LD 1.00
+}
+
+// The first rows of the reconstructed Table III band plan.
+func ExampleBandPlan() {
+	for _, b := range wireless.BandPlan(wireless.Ideal)[:4] {
+		fmt.Printf("band %d: %.0f GHz %s %.2f pJ/bit\n",
+			b.Index+1, b.CenterGHz, b.Tech, b.EPBpJ(wireless.Ideal))
+	}
+	// Output:
+	// band 1: 90 GHz CMOS 0.10 pJ/bit
+	// band 2: 130 GHz CMOS 0.15 pJ/bit
+	// band 3: 170 GHz CMOS 0.20 pJ/bit
+	// band 4: 210 GHz CMOS 0.25 pJ/bit
+}
+
+// Planning the paper's best configuration: CMOS on long and medium
+// links forces SDM reuse of the four ideal-scenario CMOS bands (and the
+// short-range channels share the two BiCMOS bands).
+func ExamplePlanOWN256() {
+	p := wireless.PlanOWN256(wireless.Config4, wireless.Ideal)
+	shared := 0
+	for _, ch := range p.Channels {
+		if ch.SDMShared {
+			shared++
+		}
+	}
+	fmt.Printf("mean %.3f pJ/bit, %d SDM-shared channels\n", p.MeanEPBpJ(), shared)
+	// Output:
+	// mean 0.110 pJ/bit, 6 SDM-shared channels
+}

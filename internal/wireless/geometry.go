@@ -1,0 +1,99 @@
+package wireless
+
+import (
+	"fmt"
+	"math"
+)
+
+// Geometry of the OWN-256 floor plan: four 25x25 mm chiplets in a 2x2
+// arrangement (the paper's Xeon-Phi-class die with 2.5D integration),
+// clusters numbered 0 top-left, 1 top-right, 2 bottom-right, 3
+// bottom-left. Antennas sit 5 mm in from their cluster corner (one tile
+// row). The corner assignment below realizes Table I's distance classes
+// on the physical layout:
+//
+//	C2C  A0-B2 / A3-B1  across the package diagonal  ~57 mm (paper ~60)
+//	E2E  A1-B0 / A2-B3  along the top/bottom edges   ~29 mm (paper ~30)
+//	SR   C0-C3 / C1-C2  across the chiplet boundary   10 mm (paper ~10)
+//
+// and spreads the four transceivers of each cluster to its four corners,
+// the load/thermal-balance argument of Figure 1(b).
+
+// ClusterMM is the edge length of one cluster chiplet.
+const ClusterMM = 25.0
+
+// antennaInsetMM is how far antennas sit from the die corner.
+const antennaInsetMM = 5.0
+
+// Point is a position on the package in millimetres.
+type Point struct{ X, Y float64 }
+
+// Distance returns the Euclidean separation in millimetres.
+func (p Point) Distance(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// corner identifiers within a cluster.
+type corner int
+
+const (
+	cornerTL corner = iota
+	cornerTR
+	cornerBL
+	cornerBR
+)
+
+// antennaCorner assigns each antenna letter its corner per cluster.
+var antennaCorner = map[int]map[byte]corner{
+	0: {'A': cornerTL, 'B': cornerBL, 'C': cornerBR, 'D': cornerTR},
+	1: {'A': cornerTL, 'B': cornerTR, 'C': cornerBL, 'D': cornerBR},
+	2: {'A': cornerTR, 'B': cornerBR, 'C': cornerTL, 'D': cornerBL},
+	3: {'A': cornerBL, 'B': cornerBR, 'C': cornerTR, 'D': cornerTL},
+}
+
+// clusterOrigin returns the top-left corner of a cluster on the package.
+func clusterOrigin(cluster int) Point {
+	switch cluster {
+	case 0:
+		return Point{0, 0}
+	case 1:
+		return Point{ClusterMM, 0}
+	case 2:
+		return Point{ClusterMM, ClusterMM}
+	case 3:
+		return Point{0, ClusterMM}
+	}
+	panic(fmt.Sprintf("wireless: bad cluster %d", cluster))
+}
+
+// AntennaPosition returns the package coordinates of an antenna.
+func AntennaPosition(cluster int, letter byte) Point {
+	cm, ok := antennaCorner[cluster]
+	if !ok {
+		panic(fmt.Sprintf("wireless: bad cluster %d", cluster))
+	}
+	c, ok := cm[letter]
+	if !ok {
+		panic(fmt.Sprintf("wireless: bad antenna letter %q", letter))
+	}
+	o := clusterOrigin(cluster)
+	near, far := antennaInsetMM, ClusterMM-antennaInsetMM
+	switch c {
+	case cornerTL:
+		return Point{o.X + near, o.Y + near}
+	case cornerTR:
+		return Point{o.X + far, o.Y + near}
+	case cornerBL:
+		return Point{o.X + near, o.Y + far}
+	default:
+		return Point{o.X + far, o.Y + far}
+	}
+}
+
+// LinkDistanceMM returns the physical TX-RX antenna separation of an
+// OWN-256 channel from the floor plan.
+func LinkDistanceMM(l Link) float64 {
+	tx := AntennaPosition(l.SrcCluster, l.TxAntenna[0])
+	rx := AntennaPosition(l.DstCluster, l.RxAntenna[0])
+	return tx.Distance(rx)
+}

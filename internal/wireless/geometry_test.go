@@ -1,0 +1,90 @@
+package wireless
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGeometryMatchesTableIDistances(t *testing.T) {
+	// Physical antenna separations must land near the Table I nominal
+	// distances (within 10%: the paper quotes rounded values).
+	for _, l := range OWN256Links() {
+		got := LinkDistanceMM(l)
+		want := l.Class.NominalMM()
+		if math.Abs(got-want)/want > 0.10 {
+			t.Errorf("link %s->%s (%v): %0.1f mm, Table I says ~%0.0f",
+				l.TxAntenna, l.RxAntenna, l.Class, got, want)
+		}
+	}
+}
+
+func TestGeometryClassOrdering(t *testing.T) {
+	// Every diagonal link is longer than every edge link, which is
+	// longer than every short-range link.
+	max := map[DistClass]float64{}
+	min := map[DistClass]float64{C2C: math.Inf(1), E2E: math.Inf(1), SR: math.Inf(1)}
+	for _, l := range OWN256Links() {
+		d := LinkDistanceMM(l)
+		if d > max[l.Class] {
+			max[l.Class] = d
+		}
+		if d < min[l.Class] {
+			min[l.Class] = d
+		}
+	}
+	if !(min[C2C] > max[E2E] && min[E2E] > max[SR]) {
+		t.Fatalf("class distances overlap: C2C [%v,%v] E2E [%v,%v] SR [%v,%v]",
+			min[C2C], max[C2C], min[E2E], max[E2E], min[SR], max[SR])
+	}
+}
+
+func TestAntennasAtDistinctCorners(t *testing.T) {
+	// The four transceivers of each cluster must occupy four distinct
+	// corners (the paper's load/thermal-balance placement).
+	for c := 0; c < 4; c++ {
+		seen := map[Point]byte{}
+		for _, letter := range []byte{'A', 'B', 'C', 'D'} {
+			p := AntennaPosition(c, letter)
+			if prev, dup := seen[p]; dup {
+				t.Fatalf("cluster %d: antennas %c and %c share corner %v", c, prev, letter, p)
+			}
+			seen[p] = letter
+			// Within the cluster bounds.
+			o := clusterOrigin(c)
+			if p.X < o.X || p.X > o.X+ClusterMM || p.Y < o.Y || p.Y > o.Y+ClusterMM {
+				t.Fatalf("cluster %d antenna %c outside die: %v", c, letter, p)
+			}
+		}
+	}
+}
+
+func TestGeometryFeedsLinkBudgetRange(t *testing.T) {
+	// The longest physical link must stay within the 50-60 mm range the
+	// Section IV transceiver design targets.
+	longest := 0.0
+	for _, l := range OWN256Links() {
+		if d := LinkDistanceMM(l); d > longest {
+			longest = d
+		}
+	}
+	if longest < 50 || longest > 65 {
+		t.Fatalf("longest link %v mm, want ~57 (paper: ~60, transceiver designed for <=50-60)", longest)
+	}
+}
+
+func TestAntennaPositionPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { AntennaPosition(9, 'A') },
+		func() { AntennaPosition(0, 'Z') },
+		func() { clusterOrigin(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
