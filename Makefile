@@ -1,0 +1,31 @@
+# Local and CI invocations stay identical: .github/workflows/ci.yml runs
+# exactly these targets.
+
+GO ?= go
+
+.PHONY: all fmt vet build lint test race ci
+
+all: ci
+
+# fmt fails (like CI) if any file needs reformatting.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+# lint runs ownsim's custom static-analysis suite (see internal/lint).
+lint:
+	$(GO) run ./cmd/ownlint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+ci: fmt vet build lint race

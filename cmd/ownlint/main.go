@@ -1,0 +1,105 @@
+// Command ownlint runs ownsim's custom static-analysis suite over the
+// module. It enforces the invariants the simulator's reproducibility
+// contract rests on (see internal/lint):
+//
+//	go run ./cmd/ownlint ./...          # whole module
+//	go run ./cmd/ownlint ./internal/... # one subtree
+//	go run ./cmd/ownlint -list          # describe the analyzers
+//
+// Exit status: 0 clean, 1 findings, 2 load or usage error. Findings can
+// be suppressed case by case with a reasoned directive:
+//
+//	//lint:ignore <analyzer> <reason>
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ownsim/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 1 && args[0] == "-list" {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ownlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.LoadTree(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ownlint:", err)
+		os.Exit(2)
+	}
+	var selected []*lint.Package
+	for _, p := range pkgs {
+		if matchesAny(p.RelPath, args) {
+			selected = append(selected, p)
+		}
+	}
+	if len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "ownlint: no packages match %v\n", args)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(selected, lint.All())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ownlint: %d finding(s) in %d package(s)\n", len(diags), len(selected))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// matchesAny reports whether the module-relative package path matches
+// any go-style pattern ("./...", "./internal/...", "./internal/sim").
+func matchesAny(relPath string, patterns []string) bool {
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "..." || pat == "" {
+			return true
+		}
+		if prefix, ok := strings.CutSuffix(pat, "/..."); ok {
+			if relPath == prefix || strings.HasPrefix(relPath, prefix+"/") {
+				return true
+			}
+			continue
+		}
+		if relPath == pat {
+			return true
+		}
+	}
+	return false
+}

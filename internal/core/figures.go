@@ -218,7 +218,7 @@ func Figure8(b Budget) []Fig8Row {
 // delivered packet: total mW (= pJ/ns) divided by the packet delivery
 // rate per ns.
 func EnergyPerPacketPJ(res fabric.Result, cores int) float64 {
-	if res.Throughput == 0 {
+	if res.Throughput <= 0 {
 		return 0
 	}
 	pktsPerCycle := res.Throughput * float64(cores) / float64(topology.PktFlits)

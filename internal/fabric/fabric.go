@@ -257,7 +257,7 @@ func (n *Network) RunTrace(tr *traffic.Trace, pktFlits int, ts TrafficSpec, budg
 		pktFlits = 5
 	}
 	if err := tr.Validate(n.NumCores); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("fabric: invalid trace for %d-core network: %v", n.NumCores, err))
 	}
 	col := stats.NewCollector(n.NumCores, 0, budget)
 	n.Collector = col

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// bannedCalls maps an import path to the package-level identifiers that
+// break the config+seed purity contract. For math/rand both v1 and v2
+// top-level functions draw from a process-global, goroutine-interleaved
+// source; constructors (New, NewSource, NewPCG, ...) remain legal because
+// an explicitly seeded private generator is deterministic.
+var bannedCalls = map[string]map[string]string{
+	"time": {
+		"Now":   "wall clock",
+		"Since": "wall clock",
+		"Until": "wall clock",
+	},
+	"os": {
+		"Getenv":    "environment read",
+		"LookupEnv": "environment read",
+		"Environ":   "environment read",
+	},
+	"math/rand":    globalRandFuncs,
+	"math/rand/v2": globalRandFuncs,
+}
+
+var globalRandFuncs = map[string]string{
+	"Int": "global RNG", "Intn": "global RNG", "IntN": "global RNG",
+	"Int31": "global RNG", "Int31n": "global RNG", "Int32": "global RNG",
+	"Int32N": "global RNG", "Int63": "global RNG", "Int63n": "global RNG",
+	"Int64": "global RNG", "Int64N": "global RNG", "Uint": "global RNG",
+	"Uint32": "global RNG", "Uint32N": "global RNG", "Uint64": "global RNG",
+	"Uint64N": "global RNG", "UintN": "global RNG", "Float32": "global RNG",
+	"Float64": "global RNG", "ExpFloat64": "global RNG",
+	"NormFloat64": "global RNG", "Perm": "global RNG", "Shuffle": "global RNG",
+	"Seed": "global RNG", "Read": "global RNG", "N": "global RNG",
+}
+
+// DeterminismAnalyzer forbids wall-clock reads, the global math/rand
+// source, and environment lookups inside the simulation packages:
+// results there must be a pure function of configuration + seed
+// (internal/sim.RNG is the sanctioned randomness source).
+func DeterminismAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc:  "forbid time.Now/Since, global math/rand, and os.Getenv in simulation packages",
+		Run: func(p *Package, report Reporter) {
+			if !inScope(p.RelPath, DeterministicPackages) {
+				return
+			}
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					ident, ok := sel.X.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					pkgName, ok := p.Info.Uses[ident].(*types.PkgName)
+					if !ok {
+						return true
+					}
+					banned, ok := bannedCalls[pkgName.Imported().Path()]
+					if !ok {
+						return true
+					}
+					if why, ok := banned[sel.Sel.Name]; ok {
+						report(sel.Pos(), "%s.%s (%s) in deterministic package %s: results must be a pure function of config + seed; use sim.RNG",
+							pkgName.Imported().Path(), sel.Sel.Name, why, p.RelPath)
+					}
+					return true
+				})
+			}
+		},
+	}
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmpAnalyzer forbids == and != between floating-point expressions
+// in all non-test code. Exact float equality silently depends on
+// evaluation order and compiler fusion; comparisons must state their
+// tolerance via the helpers in internal/stats (ApproxEqual). Two forms
+// stay legal: comparisons where both sides are compile-time constants,
+// and the x != x NaN idiom.
+func FloatCmpAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "floatcmp",
+		Doc:  "forbid ==/!= between floating-point expressions; use stats.ApproxEqual",
+		Run: func(p *Package, report Reporter) {
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					be, ok := n.(*ast.BinaryExpr)
+					if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+						return true
+					}
+					xt, yt := p.Info.Types[be.X], p.Info.Types[be.Y]
+					if !isFloat(xt.Type) && !isFloat(yt.Type) {
+						return true
+					}
+					// Both sides constant: folded at compile time.
+					if xt.Value != nil && yt.Value != nil {
+						return true
+					}
+					// x != x is the NaN test.
+					if be.Op == token.NEQ && types.ExprString(be.X) == types.ExprString(be.Y) {
+						return true
+					}
+					report(be.OpPos, "floating-point %s comparison: exact equality is order- and fusion-dependent; use stats.ApproxEqual with an explicit tolerance", be.Op)
+					return true
+				})
+			}
+		},
+	}
+}
+
+// isFloat reports whether t is (or aliases) a floating-point basic type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrderAnalyzer flags `for range` over a map inside the simulation
+// packages when the loop body does something order-sensitive: appends to
+// a slice, accumulates a floating-point value, or sends on a channel.
+// Go randomizes map iteration order, so any of those makes the result
+// depend on the iteration — float addition is not associative, and
+// slices/channels record the visit sequence itself. Order-insensitive
+// uses (integer counters, max/min scans, keyed writes) remain legal.
+func MapOrderAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "maporder",
+		Doc:  "flag order-sensitive iteration over maps in simulation packages",
+		Run: func(p *Package, report Reporter) {
+			if !inScope(p.RelPath, DeterministicPackages) {
+				return
+			}
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					rng, ok := n.(*ast.RangeStmt)
+					if !ok {
+						return true
+					}
+					tv, ok := p.Info.Types[rng.X]
+					if !ok {
+						return true
+					}
+					if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+						return true
+					}
+					if why := orderSensitive(p, rng.Body); why != "" {
+						report(rng.Pos(), "range over map with order-sensitive body (%s): map iteration order is randomized; iterate sorted keys instead", why)
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// orderSensitive returns a description of the first order-sensitive
+// operation in the loop body, or "" if none is found.
+func orderSensitive(p *Package, body *ast.BlockStmt) string {
+	why := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			why = "channel send"
+			return false
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+					why = "append to slice"
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range n.Lhs {
+					if isFloat(p.Info.TypeOf(lhs)) {
+						why = "float accumulation"
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return why
+}

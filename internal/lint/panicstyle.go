@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// PanicStyleAnalyzer enforces the repo's panic-message convention inside
+// internal/...: every panic must carry a constant message prefixed with
+// the package name ("fabric: terminal 3 added twice"), either as a plain
+// string literal or as the format string of fmt.Sprintf/fmt.Errorf.
+// Panics are the simulator's invariant checks; a bare panic(err) from a
+// 1024-core sweep is undebuggable without knowing which subsystem gave
+// up.
+func PanicStyleAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "panicstyle",
+		Doc:  `require "<pkg>: ..."-prefixed constant messages on every panic in internal/...`,
+		Run: func(p *Package, report Reporter) {
+			if !inScope(p.RelPath, []string{"internal"}) {
+				return
+			}
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					id, ok := call.Fun.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					if b, ok := p.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+						return true
+					}
+					if len(call.Args) != 1 {
+						return true
+					}
+					checkPanicArg(p, call.Args[0], report)
+					return true
+				})
+			}
+		},
+	}
+}
+
+// checkPanicArg validates one panic argument against the convention.
+func checkPanicArg(p *Package, arg ast.Expr, report Reporter) {
+	switch a := arg.(type) {
+	case *ast.BasicLit:
+		if msg, err := strconv.Unquote(a.Value); err == nil {
+			if !hasPkgPrefix(msg, p.Name) {
+				report(a.Pos(), "panic message %q lacks the %q package prefix (want %q)", msg, p.Name, p.Name+": ...")
+			}
+			return
+		}
+	case *ast.CallExpr:
+		if sel, ok := a.Fun.(*ast.SelectorExpr); ok {
+			if obj := p.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" &&
+				(sel.Sel.Name == "Sprintf" || sel.Sel.Name == "Errorf") && len(a.Args) > 0 {
+				if lit, ok := a.Args[0].(*ast.BasicLit); ok {
+					if format, err := strconv.Unquote(lit.Value); err == nil {
+						if !hasPkgPrefix(format, p.Name) {
+							report(lit.Pos(), "panic format %q lacks the %q package prefix (want %q)", format, p.Name, p.Name+": ...")
+						}
+						return
+					}
+				}
+			}
+		}
+	}
+	report(arg.Pos(), "panic without a constant %q-prefixed message: wrap the value in fmt.Sprintf(%q, ...)", p.Name+": ...", p.Name+": %v")
+}
+
+// hasPkgPrefix reports whether msg starts with the package name followed
+// by a colon or a space ("router: ..." and "router %d: ..." both pass).
+func hasPkgPrefix(msg, pkg string) bool {
+	rest, ok := strings.CutPrefix(msg, pkg)
+	if !ok || rest == "" {
+		return false
+	}
+	return rest[0] == ':' || rest[0] == ' '
+}

@@ -1,0 +1,16 @@
+// Command tool shows the analyzer scopes: wall-clock reads and
+// unprefixed panics are legal outside the simulation packages and
+// outside internal/... respectively.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	fmt.Println(time.Now())
+	if len(fmt.Sprint(1)) == 0 {
+		panic("no prefix needed in cmd")
+	}
+}

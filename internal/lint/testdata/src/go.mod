@@ -1,0 +1,3 @@
+module ownsim
+
+go 1.22

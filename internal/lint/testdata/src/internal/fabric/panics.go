@@ -1,0 +1,39 @@
+// Package fabric is a lint fixture mirroring ownsim/internal/fabric; the
+// panicstyle analyzer is in scope for all of internal/...
+package fabric
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Checked panics with properly prefixed messages: must not be flagged.
+func Checked(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("fabric: negative count %d", n))
+	}
+	if n > 1<<20 {
+		panic("fabric: count overflow")
+	}
+}
+
+// Bare re-panics an error with no subsystem context.
+func Bare() {
+	panic(errors.New("boom"))
+}
+
+// WrongPrefix names another subsystem.
+func WrongPrefix() {
+	panic("router: not this package")
+}
+
+// UnprefixedFormat forgets the prefix in the Sprintf format.
+func UnprefixedFormat(id int) {
+	panic(fmt.Sprintf("terminal %d missing", id))
+}
+
+// Suppressed demonstrates the reasoned escape hatch.
+func Suppressed() {
+	//lint:ignore panicstyle fixture demonstrating the escape hatch
+	panic("unprefixed but excused")
+}

@@ -1,0 +1,56 @@
+package sim
+
+// CollectKeys appends during map iteration: the slice records the
+// randomized visit order.
+func CollectKeys(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SumValues accumulates a float during map iteration: float addition is
+// not associative.
+func SumValues(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Feed sends on a channel during map iteration.
+func Feed(m map[int]int, ch chan<- int) {
+	for _, v := range m {
+		ch <- v
+	}
+}
+
+// CountEntries is order-insensitive and must not be flagged.
+func CountEntries(m map[int]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// SliceSum iterates a slice, not a map: must not be flagged.
+func SliceSum(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// SuppressedCollect documents why iteration order is harmless here.
+func SuppressedCollect(m map[int]bool) []int {
+	var out []int
+	//lint:ignore maporder fixture: the caller sorts the result
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -74,7 +74,7 @@ func (m ThermalModel) SampleTuningMW(rings int, seed uint64) float64 {
 // gaussSample draws a standard normal via Box-Muller.
 func gaussSample(r *sim.RNG) float64 {
 	u1 := r.Float64()
-	for u1 == 0 {
+	for u1 <= 0 {
 		u1 = r.Float64()
 	}
 	u2 := r.Float64()

@@ -44,10 +44,10 @@ func Chart(title string, series []Series, width, height int) string {
 	if minX > maxX || minY > maxY {
 		return title + "\n(no finite data)\n"
 	}
-	if maxX == minX {
+	if maxX <= minX {
 		maxX = minX + 1
 	}
-	if maxY == minY {
+	if maxY <= minY {
 		maxY = minY + 1
 	}
 	grid := make([][]byte, height)

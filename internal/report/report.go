@@ -9,11 +9,13 @@ package report
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
 	"ownsim/internal/core"
 	"ownsim/internal/rf"
+	"ownsim/internal/stats"
 	"ownsim/internal/traffic"
 )
 
@@ -101,7 +103,7 @@ func rfClaims() []Claim {
 		claim("fig4a/phase-noise", "~-86 dBc/Hz at 1 MHz", pn > -92 && pn < -80, "%.1f dBc/Hz (simulated PSD)", pn),
 		claim("fig4b/p1db", "P1dB ~5 dBm", p1 > 4.5 && p1 < 5.5, "%.2f dBm", p1),
 		claim("fig4b/bandwidth", "~20 GHz above 2 dB gain", bw > 18 && bw < 22, "%.1f GHz", bw),
-		claim("fig4c/lna-gain", "10 dB wideband LNA", rf.DefaultLNA().GainAtDB(90) == 10, "%.1f dB at 90 GHz", rf.DefaultLNA().GainAtDB(90)),
+		claim("fig4c/lna-gain", "10 dB wideband LNA", stats.ApproxEqual(rf.DefaultLNA().GainAtDB(90), 10, 1e-9), "%.1f dB at 90 GHz", rf.DefaultLNA().GainAtDB(90)),
 	}
 }
 
@@ -170,13 +172,13 @@ func fig7Claims(b core.Budget) []Claim {
 func fig8Claims(b core.Budget) []Claim {
 	rows := core.Figure8(b)
 	epkt := map[string]float64{}
-	thrMin, thrMax := 0.0, 0.0
+	thrMin, thrMax := math.Inf(1), 0.0
 	for _, row := range rows {
 		if row.Pattern != traffic.Uniform {
 			continue
 		}
 		epkt[row.SystemName] = row.EnergyPerPacketPJ
-		if thrMin == 0 || row.Throughput < thrMin {
+		if row.Throughput < thrMin {
 			thrMin = row.Throughput
 		}
 		if row.Throughput > thrMax {

@@ -78,7 +78,7 @@ func (o Oscillator) MeasurePhaseNoise(offsetHz float64, seed uint64) float64 {
 // gauss draws a standard normal via Box-Muller.
 func gauss(r *sim.RNG) float64 {
 	u1 := r.Float64()
-	for u1 == 0 {
+	for u1 <= 0 {
 		u1 = r.Float64()
 	}
 	u2 := r.Float64()

@@ -43,10 +43,10 @@ func (s *Sink) Tick(cycle uint64) { s.now = cycle }
 func (s *Sink) ReceiveFlit(_ int, f *noc.Flit) {
 	p := f.Pkt
 	if p.Dst != s.CoreID {
-		panic(fmt.Sprintf("sink %d: misrouted packet %d (src %d dst %d)", s.CoreID, p.ID, p.Src, p.Dst))
+		panic(fmt.Sprintf("router: sink %d: misrouted packet %d (src %d dst %d)", s.CoreID, p.ID, p.Src, p.Dst))
 	}
 	if want := s.expected[p.ID]; f.Seq != want {
-		panic(fmt.Sprintf("sink %d: packet %d flit out of order: seq %d, want %d", s.CoreID, p.ID, f.Seq, want))
+		panic(fmt.Sprintf("router: sink %d: packet %d flit out of order: seq %d, want %d", s.CoreID, p.ID, f.Seq, want))
 	}
 	s.expected[p.ID] = f.Seq + 1
 	// Ejection buffer drains immediately; return the credit.

