@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet build lint test race ci
+.PHONY: all fmt vet build lint test race smoke ci
 
 all: ci
 
@@ -28,4 +28,19 @@ test:
 race:
 	$(GO) test -race ./...
 
-ci: fmt vet build lint race
+# smoke exercises the observability path end to end: a short traced
+# single run plus an instrumented sweep, then cmd/obscheck verifies that
+# every emitted artifact (metrics CSV/NDJSON, trace JSON/NDJSON, run
+# manifests) actually parses.
+smoke:
+	@dir=$$(mktemp -d) && trap "rm -rf $$dir" EXIT && \
+	$(GO) run ./cmd/ownsim -cores 256 -warmup 200 -measure 800 -seed 1 \
+		-metrics $$dir/run.csv -trace $$dir/run.json -sample 4 \
+		-manifest $$dir/run-manifest.json >/dev/null && \
+	$(GO) run ./cmd/sweep -topo own -cores 256 -points 2 -warmup 200 -measure 800 \
+		-metrics $$dir/sweep.ndjson -trace $$dir/sweep-trace.ndjson -sample 4 \
+		-manifest $$dir/sweep-manifest.json >/dev/null 2>&1 && \
+	$(GO) run ./cmd/obscheck $$dir/run.csv $$dir/run.json $$dir/run-manifest.json \
+		$$dir/sweep.ndjson $$dir/sweep-trace.ndjson $$dir/sweep-manifest.json
+
+ci: fmt vet build lint race smoke

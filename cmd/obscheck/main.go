@@ -1,0 +1,111 @@
+// Command obscheck validates observability artifacts emitted by ownsim
+// and sweep: .json files must parse as one JSON value, .ndjson files as
+// one JSON object per line, and .csv files as a rectangular table with a
+// header row. It exits non-zero on the first invalid or empty file —
+// `make smoke` runs it in CI so a formatting regression in the probe
+// exporters cannot land silently.
+//
+// Usage:
+//
+//	obscheck trace.json metrics.csv manifest.json events.ndjson
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("obscheck: ")
+	if len(os.Args) < 2 {
+		log.Fatal("usage: obscheck file...")
+	}
+	for _, path := range os.Args[1:] {
+		n, err := check(path)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		fmt.Printf("ok %s (%d %s)\n", path, n, unit(path))
+	}
+}
+
+func unit(path string) string {
+	switch {
+	case strings.HasSuffix(path, ".csv"):
+		return "rows"
+	case strings.HasSuffix(path, ".ndjson"):
+		return "lines"
+	default:
+		return "bytes"
+	}
+}
+
+// check validates one file and returns a size measure (rows, lines or
+// bytes depending on the format).
+func check(path string) (int, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	if len(b) == 0 {
+		return 0, fmt.Errorf("empty file")
+	}
+	switch {
+	case strings.HasSuffix(path, ".csv"):
+		return checkCSV(b)
+	case strings.HasSuffix(path, ".ndjson"):
+		return checkNDJSON(b)
+	case strings.HasSuffix(path, ".json"):
+		var v any
+		if err := json.Unmarshal(b, &v); err != nil {
+			return 0, fmt.Errorf("invalid JSON: %v", err)
+		}
+		return len(b), nil
+	default:
+		return 0, fmt.Errorf("unknown artifact extension (want .json, .ndjson or .csv)")
+	}
+}
+
+func checkCSV(b []byte) (int, error) {
+	r := csv.NewReader(strings.NewReader(string(b)))
+	// FieldsPerRecord defaults to the first record's width, enforcing a
+	// rectangular table.
+	recs, err := r.ReadAll()
+	if err != nil {
+		return 0, fmt.Errorf("invalid CSV: %v", err)
+	}
+	if len(recs) < 2 {
+		return 0, fmt.Errorf("CSV has no data rows (only %d records)", len(recs))
+	}
+	return len(recs) - 1, nil
+}
+
+func checkNDJSON(b []byte) (int, error) {
+	sc := bufio.NewScanner(strings.NewReader(string(b)))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	n := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var v map[string]any
+		if err := json.Unmarshal(line, &v); err != nil {
+			return 0, fmt.Errorf("line %d: invalid JSON object: %v", n+1, err)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("no NDJSON records")
+	}
+	return n, nil
+}

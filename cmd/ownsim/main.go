@@ -19,6 +19,7 @@ import (
 	"ownsim/internal/core"
 	"ownsim/internal/fabric"
 	"ownsim/internal/power"
+	"ownsim/internal/probe"
 	"ownsim/internal/topology"
 	"ownsim/internal/traffic"
 	"ownsim/internal/wireless"
@@ -41,6 +42,12 @@ func main() {
 	fail := flag.String("fail", "", "comma-separated OWN-256 wireless channel IDs to take out of service")
 	telemetry := flag.Int("telemetry", 0, "print the top-N busiest shared channels after the run")
 	dot := flag.String("dot", "", "write the router-level topology as Graphviz DOT to this path")
+	metrics := flag.String("metrics", "", "write the sampled metric time-series to this path (.csv or .ndjson)")
+	trace := flag.String("trace", "", "write the per-packet lifecycle trace to this path (.json Chrome trace-event, or .ndjson)")
+	sample := flag.Uint64("sample", 1, "trace every Nth packet (with -trace; 1 = all)")
+	window := flag.Uint64("window", 256, "metric sampling window in simulated cycles (with -metrics)")
+	percomp := flag.Bool("percomponent", false, "register per-router/per-source metrics in addition to aggregates")
+	manifest := flag.String("manifest", "", "write a machine-readable run manifest (JSON) to this path")
 	flag.Parse()
 
 	pat, err := traffic.ParsePattern(*pattern)
@@ -92,6 +99,24 @@ func main() {
 		}
 		fmt.Printf("wrote topology graph to %s\n", *dot)
 	}
+	var pb *probe.Probe
+	if *metrics != "" || *trace != "" {
+		if *sample == 0 {
+			log.Fatal("-sample must be >= 1")
+		}
+		opts := probe.Options{PerComponent: *percomp}
+		if *metrics != "" {
+			if *window == 0 {
+				log.Fatal("-window must be >= 1")
+			}
+			opts.MetricsEvery = *window
+		}
+		if *trace != "" {
+			opts.TraceEvery = *sample
+		}
+		pb = probe.New(opts)
+		n.InstallProbe(pb)
+	}
 	res := n.Run(
 		fabric.TrafficSpec{Pattern: pat, Rate: *load, Seed: *seed, Policy: sys.Policy, Classify: sys.Classify},
 		fabric.RunSpec{Warmup: *warmup, Measure: *measure},
@@ -109,5 +134,51 @@ func main() {
 	if *telemetry > 0 {
 		fmt.Println()
 		fmt.Print(n.Telemetry(*telemetry))
+	}
+
+	var man *probe.Manifest
+	if *manifest != "" {
+		sum := res.Summary
+		man = &probe.Manifest{
+			Tool: "ownsim",
+			Config: map[string]string{
+				"topo":     *topo,
+				"cores":    strconv.Itoa(*cores),
+				"pattern":  pat.String(),
+				"load":     strconv.FormatFloat(*load, 'g', -1, 64),
+				"config":   strconv.Itoa(*config),
+				"scenario": *scenario,
+				"warmup":   strconv.FormatUint(*warmup, 10),
+				"measure":  strconv.FormatUint(*measure, 10),
+				"reconfig": strconv.FormatBool(*reconfig),
+				"fail":     *fail,
+				"sample":   strconv.FormatUint(*sample, 10),
+				"window":   strconv.FormatUint(*window, 10),
+			},
+			Cores:   *cores,
+			Seed:    *seed,
+			Cycles:  n.Eng.Cycle(),
+			Summary: &sum,
+		}
+	}
+	if pb != nil {
+		if err := probe.EmitFiles(pb, *metrics, *trace, man); err != nil {
+			log.Fatal(err)
+		}
+		if *metrics != "" {
+			fmt.Printf("metrics:     %d samples x %d metrics -> %s\n", pb.Sampler().Rows(), pb.Registry().Len(), *metrics)
+		}
+		if t := pb.Tracer(); t != nil {
+			fmt.Printf("trace:       %d events -> %s\n", t.Len(), *trace)
+			if t.Dropped() > 0 {
+				fmt.Printf("  WARNING: %d trace events dropped at the %d-event cap; raise -sample\n", t.Dropped(), probe.DefaultMaxTraceEvents)
+			}
+		}
+	}
+	if man != nil {
+		if err := probe.WriteManifestFile(man, *manifest); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("manifest:    %s\n", *manifest)
 	}
 }

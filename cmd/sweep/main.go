@@ -1,10 +1,19 @@
 // Command sweep produces a latency/throughput-versus-load curve for one
 // or all architectures (the data behind the paper's Figure 7b/c), in CSV
-// on stdout. Sweep points run in parallel across CPUs.
+// on stdout. Sweep points run in parallel across CPUs; one progress line
+// per finished point goes to stderr.
 //
-// Example:
+// With -telemetry, -metrics or -trace (single -topo only), the highest
+// load point is re-run with the observability probe installed and the
+// requested artifacts are emitted; -manifest records the whole sweep —
+// configuration, every point, artifact digests — as machine-readable
+// JSON. Artifacts are deterministic: same flags and seed give byte-
+// identical files regardless of GOMAXPROCS.
+//
+// Examples:
 //
 //	sweep -topo all -cores 256 -pattern uniform -points 10
+//	sweep -topo own -points 8 -telemetry 5 -metrics m.csv -trace t.json -manifest run.json
 package main
 
 import (
@@ -12,10 +21,16 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"sync"
+	"time"
 
 	"ownsim/internal/core"
+	"ownsim/internal/fabric"
 	"ownsim/internal/plot"
-
+	"ownsim/internal/power"
+	"ownsim/internal/probe"
+	"ownsim/internal/stats"
 	"ownsim/internal/traffic"
 	"ownsim/internal/wireless"
 )
@@ -32,6 +47,13 @@ func main() {
 	measure := flag.Uint64("measure", 12000, "measurement cycles")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	doPlot := flag.Bool("plot", false, "render an ASCII latency-load chart on stderr")
+	telemetry := flag.Int("telemetry", 0, "print the top-N busiest shared channels for the highest-load point (single -topo)")
+	dot := flag.String("dot", "", "write the router-level topology as Graphviz DOT to this path (single -topo)")
+	metrics := flag.String("metrics", "", "write the highest-load point's metric time-series to this path (.csv or .ndjson; single -topo)")
+	trace := flag.String("trace", "", "write the highest-load point's packet trace to this path (.json Chrome trace-event, or .ndjson; single -topo)")
+	sample := flag.Uint64("sample", 1, "trace every Nth packet (with -trace; 1 = all)")
+	window := flag.Uint64("window", 256, "metric sampling window in simulated cycles (with -metrics)")
+	manifest := flag.String("manifest", "", "write a machine-readable sweep manifest (JSON) to this path")
 	flag.Parse()
 
 	pat, err := traffic.ParsePattern(*pattern)
@@ -42,20 +64,67 @@ func main() {
 	if *topo != "all" {
 		names = []string{*topo}
 	}
+	instrumented := *telemetry > 0 || *metrics != "" || *trace != ""
+	if (instrumented || *dot != "") && *topo == "all" {
+		log.Fatal("-telemetry, -dot, -metrics and -trace need a single -topo")
+	}
+	if *sample == 0 || *window == 0 {
+		log.Fatal("-sample and -window must be >= 1")
+	}
 	b := core.Budget{Warmup: *warmup, Measure: *measure, Loads: *points, Seed: *seed}
 	loads := core.SweepLoads(*cores, *points)
 
+	var man *probe.Manifest
+	if *manifest != "" {
+		man = &probe.Manifest{
+			Tool: "sweep",
+			Config: map[string]string{
+				"topo":    *topo,
+				"cores":   strconv.Itoa(*cores),
+				"pattern": pat.String(),
+				"points":  strconv.Itoa(*points),
+				"warmup":  strconv.FormatUint(*warmup, 10),
+				"measure": strconv.FormatUint(*measure, 10),
+				"sample":  strconv.FormatUint(*sample, 10),
+				"window":  strconv.FormatUint(*window, 10),
+			},
+			Cores: *cores,
+			Seed:  *seed,
+		}
+	}
+
+	start := time.Now()
+	done := 0
+	total := len(names) * len(loads)
+	var mu sync.Mutex
 	fmt.Println("topology,pattern,load_fnc,avg_latency_cy,throughput_fnc,saturated")
 	var chart []plot.Series
 	for _, name := range names {
+		name := name
 		sys := core.NewSystem(name, *cores, wireless.Config4, wireless.Ideal)
-		pts := core.Sweep(sys, pat, loads, b)
+		// Per-point progress on stderr; wall-clock timing is allowed
+		// here in cmd/ (the deterministic CSV/manifest outputs never
+		// see it). Completion order is whatever the worker pool gives.
+		onPoint := func(i int, p stats.CurvePoint) {
+			mu.Lock()
+			defer mu.Unlock()
+			done++
+			fmt.Fprintf(os.Stderr, "sweep: [%d/%d] %s load=%.5f latency=%.1f thr=%.5f sat=%v (%.1fs)\n",
+				done, total, name, p.Load, p.Latency, p.Throughput, p.Saturated, time.Since(start).Seconds())
+		}
+		pts := core.SweepWithProgress(sys, pat, loads, b, onPoint)
 		series := plot.Series{Name: name}
-		for _, p := range pts {
+		for i, p := range pts {
 			fmt.Printf("%s,%s,%.6f,%.2f,%.6f,%v\n", name, pat, p.Load, p.Latency, p.Throughput, p.Saturated)
 			if !p.Saturated {
 				series.X = append(series.X, p.Load)
 				series.Y = append(series.Y, p.Latency)
+			}
+			if man != nil {
+				man.Points = append(man.Points, probe.Point{
+					System: name, Load: loads[i], Latency: p.Latency,
+					Throughput: p.Throughput, Saturated: p.Saturated,
+				})
 			}
 		}
 		chart = append(chart, series)
@@ -65,4 +134,49 @@ func main() {
 		fmt.Fprint(os.Stderr, plot.Chart(title, chart, 72, 18))
 	}
 
+	// Instrumented re-run of the highest-load point: the probe layer is
+	// inert, so its summary matches the sweep's last point exactly.
+	if instrumented || *dot != "" {
+		sys := core.NewSystem(*topo, *cores, wireless.Config4, wireless.Ideal)
+		n := sys.Build(power.NewMeter(nil))
+		if *dot != "" {
+			if err := os.WriteFile(*dot, []byte(n.DOT()), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "sweep: wrote topology graph to %s\n", *dot)
+		}
+		if instrumented {
+			opts := probe.Options{}
+			if *metrics != "" {
+				opts.MetricsEvery = *window
+			}
+			if *trace != "" {
+				opts.TraceEvery = *sample
+			}
+			pb := probe.New(opts)
+			n.InstallProbe(pb)
+			last := len(loads) - 1
+			res := n.Run(
+				fabric.TrafficSpec{Pattern: pat, Rate: loads[last], Seed: b.Seed + uint64(last), Policy: sys.Policy, Classify: sys.Classify},
+				fabric.RunSpec{Warmup: b.Warmup, Measure: b.Measure},
+			)
+			fmt.Fprintf(os.Stderr, "sweep: instrumented %s @ load %.5f: %s\n", *topo, loads[last], res.Summary)
+			if *telemetry > 0 {
+				fmt.Fprint(os.Stderr, n.Telemetry(*telemetry))
+			}
+			if err := probe.EmitFiles(pb, *metrics, *trace, man); err != nil {
+				log.Fatal(err)
+			}
+			if t := pb.Tracer(); t != nil && t.Dropped() > 0 {
+				fmt.Fprintf(os.Stderr, "sweep: WARNING: %d trace events dropped at the cap; raise -sample\n", t.Dropped())
+			}
+		}
+	}
+
+	if man != nil {
+		if err := probe.WriteManifestFile(man, *manifest); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: wrote manifest to %s\n", *manifest)
+	}
 }

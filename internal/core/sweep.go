@@ -80,6 +80,17 @@ func SweepLoads(cores, points int) []float64 {
 // Sweep runs the system across the given loads in parallel and returns
 // the latency/throughput curve (the paper's Figure 7b/c data).
 func Sweep(sys System, pattern traffic.Pattern, loads []float64, b Budget) []stats.CurvePoint {
+	return SweepWithProgress(sys, pattern, loads, b, nil)
+}
+
+// SweepWithProgress is Sweep with a per-point completion callback for
+// progress reporting (cmd/sweep prints one stderr line per finished
+// point). onPoint is invoked from the worker goroutines as points
+// complete — completion order is nondeterministic, so the callback must
+// be safe for concurrent use and must not feed any deterministic
+// artifact; the returned slice is always in load order and is the only
+// sanctioned result. nil onPoint is allowed.
+func SweepWithProgress(sys System, pattern traffic.Pattern, loads []float64, b Budget, onPoint func(i int, p stats.CurvePoint)) []stats.CurvePoint {
 	points := make([]stats.CurvePoint, len(loads))
 	ParallelMap(len(loads), func(i int) {
 		res := sys.Run(
@@ -91,6 +102,9 @@ func Sweep(sys System, pattern traffic.Pattern, loads []float64, b Budget) []sta
 			Latency:    res.AvgLatency,
 			Throughput: res.Throughput,
 			Saturated:  !res.Drained,
+		}
+		if onPoint != nil {
+			onPoint(i, points[i])
 		}
 	})
 	return points

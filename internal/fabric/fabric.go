@@ -14,6 +14,7 @@ import (
 
 	"ownsim/internal/noc"
 	"ownsim/internal/power"
+	"ownsim/internal/probe"
 	"ownsim/internal/router"
 	"ownsim/internal/sbus"
 	"ownsim/internal/sim"
@@ -31,6 +32,9 @@ type Network struct {
 	Eng       *sim.Engine
 	Meter     *power.Meter
 	Collector *stats.Collector
+	// Probe is the installed observability layer; nil (the default)
+	// disables all instrumentation. See InstallProbe.
+	Probe *probe.Probe
 
 	Routers []*router.Router
 	Sources []*router.Source
@@ -236,6 +240,7 @@ func (n *Network) Run(ts TrafficSpec, rs RunSpec) Result {
 	}
 	n.Eng.Run(rs.Warmup + rs.Measure)
 	drained := n.Eng.RunUntil(func() bool { return col.Pending() == 0 }, rs.drain())
+	n.Probe.Flush(n.Eng.Cycle())
 	res := Result{
 		Summary: col.Summary(),
 		Drained: drained,
@@ -284,6 +289,7 @@ func (n *Network) RunTrace(tr *traffic.Trace, pktFlits int, ts TrafficSpec, budg
 		return true
 	}
 	drained := n.Eng.RunUntil(done, budget)
+	n.Probe.Flush(n.Eng.Cycle())
 	res := Result{Summary: col.Summary(), Drained: drained}
 	if n.Meter != nil {
 		res.Power = n.Meter.Report(n.Eng.Cycle())
@@ -323,7 +329,15 @@ func (n *Network) Telemetry(topN int) string {
 	for _, ch := range n.Channels {
 		statsList = append(statsList, ch.Stats())
 	}
-	sort.Slice(statsList, func(i, j int) bool { return statsList[i].BusyCy > statsList[j].BusyCy })
+	// Busiest first; equally busy channels tie-break on name so the
+	// rendered order is deterministic (channel registration order is
+	// topology-dependent, and sort.Slice is not stable).
+	sort.Slice(statsList, func(i, j int) bool {
+		if statsList[i].BusyCy != statsList[j].BusyCy {
+			return statsList[i].BusyCy > statsList[j].BusyCy
+		}
+		return statsList[i].Name < statsList[j].Name
+	})
 	if topN > len(statsList) {
 		topN = len(statsList)
 	}

@@ -1,0 +1,220 @@
+package fabric
+
+import (
+	"fmt"
+
+	"ownsim/internal/noc"
+	"ownsim/internal/probe"
+	"ownsim/internal/router"
+	"ownsim/internal/sbus"
+	"ownsim/internal/sim"
+)
+
+// InstallProbe wires an observability probe into an assembled network:
+// it registers metrics over the network's components, schedules the
+// cycle-windowed sampler in the engine's Collect phase, and installs the
+// per-packet trace hooks. Call it after the topology builder and before
+// Run; a nil probe is a no-op. The probe layer is inert by construction:
+// every metric is read from state the simulation already maintains, and
+// every hook only records — enabling a probe never changes a Summary
+// (tests assert this bit-for-bit).
+func (n *Network) InstallProbe(p *probe.Probe) {
+	if p == nil {
+		return
+	}
+	if n.Probe != nil {
+		panic(fmt.Sprintf("fabric %s: probe installed twice", n.Name))
+	}
+	n.Probe = p
+	n.registerMetrics(p)
+	if s := p.Sampler(); s != nil {
+		n.Eng.Register(sim.PhaseCollect, s)
+	}
+	if t := p.Tracer(); t != nil {
+		n.installTraceHooks(t)
+	}
+}
+
+// registerMetrics populates the probe registry. Counters are placed on
+// the router hot path through shared handles (one set for the whole
+// network, or per-router in per-component mode); everything else is a
+// gauge over state the components already maintain.
+func (n *Network) registerMetrics(p *probe.Probe) {
+	reg := p.Registry()
+	perComp := p.Options().PerComponent
+
+	// Network-level aggregates, registered first so narrow dashboards
+	// can read just the leading columns.
+	routers := n.Routers
+	reg.Gauge("net.buffered_flits", func() float64 {
+		total := 0
+		for _, r := range routers {
+			total += r.BufferedFlits()
+		}
+		return float64(total)
+	})
+	sources := n.Sources
+	reg.Gauge("net.generated_pkts", func() float64 {
+		var total uint64
+		for _, s := range sources {
+			total += s.Generated
+		}
+		return float64(total)
+	})
+	reg.Gauge("net.injected_pkts", func() float64 {
+		var total uint64
+		for _, s := range sources {
+			total += s.Injected
+		}
+		return float64(total)
+	})
+	reg.Gauge("net.dropped_pkts", func() float64 {
+		var total uint64
+		for _, s := range sources {
+			total += s.Dropped
+		}
+		return float64(total)
+	})
+	reg.Gauge("net.src_queued_pkts", func() float64 {
+		total := 0
+		for _, s := range sources {
+			total += s.QueueLen()
+		}
+		return float64(total)
+	})
+	sinks := n.Sinks
+	reg.Gauge("net.ejected_pkts", func() float64 {
+		var total uint64
+		for _, s := range sinks {
+			total += s.Ejected
+		}
+		return float64(total)
+	})
+
+	// Router pipeline counters: one shared set of handles network-wide,
+	// or one set per router in per-component mode.
+	if perComp {
+		for _, r := range n.Routers {
+			r.PC = router.Counters{
+				SAGrants:    reg.Counter(fmt.Sprintf("router.%d.sa_grants", r.Cfg.ID)),
+				CreditStall: reg.Counter(fmt.Sprintf("router.%d.credit_stall", r.Cfg.ID)),
+				BusyStall:   reg.Counter(fmt.Sprintf("router.%d.busy_stall", r.Cfg.ID)),
+			}
+		}
+	} else {
+		shared := router.Counters{
+			SAGrants:    reg.Counter("net.sa_grants"),
+			CreditStall: reg.Counter("net.credit_stall"),
+			BusyStall:   reg.Counter("net.busy_stall"),
+		}
+		for _, r := range n.Routers {
+			r.PC = shared
+		}
+	}
+
+	// Shared-medium channels: cumulative stats the channel already
+	// tracks, exported under the channel's name.
+	for _, ch := range n.Channels {
+		ch := ch
+		base := "ch." + channelLabel(ch)
+		reg.Gauge(base+".transmitted", func() float64 { return float64(ch.Stats().Transmitted) })
+		reg.Gauge(base+".busy_cy", func() float64 { return float64(ch.Stats().BusyCy) })
+		reg.Gauge(base+".token_moves", func() float64 { return float64(ch.Stats().TokenMoves) })
+		reg.Gauge(base+".credit_stall_cy", func() float64 { return float64(ch.Stats().CreditStallCy) })
+	}
+
+	if perComp {
+		for _, r := range n.Routers {
+			r := r
+			reg.Gauge(fmt.Sprintf("router.%d.buffered", r.Cfg.ID), func() float64 {
+				return float64(r.BufferedFlits())
+			})
+		}
+		for id, s := range n.Sources {
+			s := s
+			reg.Gauge(fmt.Sprintf("src.%d.queued", id), func() float64 {
+				return float64(s.QueueLen())
+			})
+		}
+	}
+}
+
+// channelLabel prefixes a channel's name with its medium kind so metric
+// names and trace threads read "photonic.c0/home3.1", "wireless.wl ...".
+func channelLabel(ch *sbus.Channel) string {
+	if ch.Kind == "" {
+		return ch.Name
+	}
+	return ch.Kind + "." + ch.Name
+}
+
+// installTraceHooks attaches per-packet lifecycle observers to every
+// source, sink, router and shared channel. Components are registered
+// with the tracer in deterministic order (sources, sinks, routers,
+// channels, each in index order), so thread IDs — and therefore the
+// exported trace bytes — are reproducible.
+func (n *Network) installTraceHooks(t *probe.Tracer) {
+	for id, src := range n.Sources {
+		if src == nil {
+			continue
+		}
+		cid := t.Component(fmt.Sprintf("src.%d", id))
+		src.OnEnqueue = func(p *noc.Packet, cycle uint64) {
+			if t.Sampled(p.ID) {
+				t.Emit(cycle, cid, probe.EvEnqueue, p, 0)
+			}
+		}
+		src.OnInject = func(p *noc.Packet, cycle uint64) {
+			if t.Sampled(p.ID) {
+				t.Emit(cycle, cid, probe.EvInject, p, 0)
+			}
+		}
+	}
+	for id, snk := range n.Sinks {
+		if snk == nil {
+			continue
+		}
+		cid := t.Component(fmt.Sprintf("sink.%d", id))
+		snk.OnEject = func(p *noc.Packet, cycle uint64) {
+			if t.Sampled(p.ID) {
+				t.Emit(cycle, cid, probe.EvEject, p, 0)
+			}
+		}
+	}
+	for _, r := range n.Routers {
+		cid := t.Component(fmt.Sprintf("router.%d", r.Cfg.ID))
+		r.OnRoute = func(cycle uint64, p *noc.Packet, inPort, outPort int) {
+			if t.Sampled(p.ID) {
+				t.Emit(cycle, cid, probe.EvRoute, p, outPort)
+			}
+		}
+		r.OnVCAlloc = func(cycle uint64, p *noc.Packet, outPort, outVC int) {
+			if t.Sampled(p.ID) {
+				t.Emit(cycle, cid, probe.EvVCAlloc, p, outVC)
+			}
+		}
+		r.OnSwitch = func(cycle uint64, f *noc.Flit, inPort, outPort int) {
+			if f.IsHead() && t.Sampled(f.Pkt.ID) {
+				t.Emit(cycle, cid, probe.EvSwitch, f.Pkt, outPort)
+			}
+		}
+	}
+	for _, ch := range n.Channels {
+		cid := t.Component(channelLabel(ch))
+		ch.OnAcquire = func(cycle uint64, p *noc.Packet, tokenCostCy int) {
+			if t.Sampled(p.ID) {
+				t.Emit(cycle, cid, probe.EvTokenAcquire, p, tokenCostCy)
+			}
+		}
+		ch.OnRelease = func(cycle uint64, p *noc.Packet) {
+			if t.Sampled(p.ID) {
+				t.Emit(cycle, cid, probe.EvTokenRelease, p, 0)
+			}
+		}
+		ch.OnFlitTx = func(cycle uint64, f *noc.Flit, rx int) {
+			if f.IsHead() && t.Sampled(f.Pkt.ID) {
+				t.Emit(cycle, cid, probe.EvTransmit, f.Pkt, rx)
+			}
+		}
+	}
+}

@@ -93,6 +93,8 @@ var DeterministicPackages = []string{
 	"internal/fabric",
 	"internal/traffic",
 	"internal/core",
+	"internal/probe",
+	"internal/sbus",
 }
 
 // inScope reports whether relPath is within any of the listed

@@ -114,6 +114,7 @@ func BuildCrossbar(n *fabric.Network, name string, routers []*router.Router, pm 
 		}
 		for gi, group := range groups {
 			ch := sbus.NewChannel(fmt.Sprintf("%s/home%d.%d", name, t, gi), subSer, spec.PropCy, spec.TokenHopCy)
+			ch.Kind = "photonic"
 			ch.OnTransmit = func(f *noc.Flit, rx int) { meter.Photonic() }
 			rx := ch.AddRx(routers[t], rp, spec.NumVCs, spec.BufDepth)
 			for _, vc := range group {

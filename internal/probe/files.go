@@ -1,0 +1,72 @@
+package probe
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// EmitFiles renders and writes the probe's enabled artifacts, choosing
+// the format from the file extension: ".ndjson" selects newline-
+// delimited JSON, anything else selects CSV for metrics and Chrome
+// trace-event JSON for traces. Empty paths skip the artifact. When man
+// is non-nil every written file is recorded in it with its digest.
+// cmd/ownsim and cmd/sweep share this path so their artifacts are
+// format-identical.
+func EmitFiles(p *Probe, metricsPath, tracePath string, man *Manifest) error {
+	if metricsPath != "" {
+		s := p.Sampler()
+		if s == nil {
+			return fmt.Errorf("probe: metrics requested but sampling disabled")
+		}
+		var buf bytes.Buffer
+		var err error
+		if strings.HasSuffix(metricsPath, ".ndjson") {
+			err = s.WriteNDJSON(&buf)
+		} else {
+			err = s.WriteCSV(&buf)
+		}
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(metricsPath, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+		if man != nil {
+			man.AddArtifact("metrics", metricsPath, buf.Bytes())
+		}
+	}
+	if tracePath != "" {
+		t := p.Tracer()
+		if t == nil {
+			return fmt.Errorf("probe: trace requested but tracing disabled")
+		}
+		var buf bytes.Buffer
+		var err error
+		if strings.HasSuffix(tracePath, ".ndjson") {
+			err = t.WriteNDJSON(&buf)
+		} else {
+			err = t.WriteChrome(&buf)
+		}
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(tracePath, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+		if man != nil {
+			man.AddArtifact("trace", tracePath, buf.Bytes())
+		}
+	}
+	return nil
+}
+
+// WriteManifestFile serializes the manifest to path.
+func WriteManifestFile(man *Manifest, path string) error {
+	var buf bytes.Buffer
+	if err := man.WriteJSON(&buf); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}

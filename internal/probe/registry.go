@@ -1,0 +1,126 @@
+package probe
+
+import "fmt"
+
+// Counter is a monotonically increasing metric handle. Handles are
+// pre-registered (Registry.Counter) so the hot path never touches the
+// registry; incrementing through a nil handle is a no-op, which is the
+// disabled-probe fast path.
+type Counter struct {
+	n uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.n++
+	}
+}
+
+// Add adds d.
+func (c *Counter) Add(d uint64) {
+	if c != nil {
+		c.n += d
+	}
+}
+
+// Value returns the current count (zero on a nil handle).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+)
+
+type metric struct {
+	name string
+	kind metricKind
+	ctr  *Counter
+	fn   func() float64
+}
+
+// Registry holds the run's metrics. Registration order is the iteration
+// order everywhere (snapshot columns, exports), which keeps every
+// artifact deterministic; names must be unique. A nil *Registry accepts
+// registrations as no-ops and hands out nil handles.
+type Registry struct {
+	metrics []metric
+	index   map[string]int // name -> metrics index, duplicate detection only
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]int)}
+}
+
+func (r *Registry) register(m metric) {
+	if _, dup := r.index[m.name]; dup {
+		panic(fmt.Sprintf("probe: metric %q registered twice", m.name))
+	}
+	r.index[m.name] = len(r.metrics)
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers a counter under the given hierarchical name (e.g.
+// "router.5.sa_grants") and returns its handle. On a nil registry it
+// returns a nil handle, whose methods are no-ops.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := &Counter{}
+	r.register(metric{name: name, kind: kindCounter, ctr: c})
+	return c
+}
+
+// Gauge registers a sampled metric: fn is invoked at every sampling
+// window to read the current value (e.g. buffered flits, queue depth, a
+// component's cumulative event count). fn must be deterministic and
+// side-effect free. No-op on a nil registry.
+func (r *Registry) Gauge(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(metric{name: name, kind: kindGauge, fn: fn})
+}
+
+// Len returns the number of registered metrics.
+func (r *Registry) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.metrics)
+}
+
+// Names returns the metric names in registration order.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	names := make([]string, len(r.metrics))
+	for i, m := range r.metrics {
+		names[i] = m.name
+	}
+	return names
+}
+
+// snapshot appends the current value of every metric, in registration
+// order, to dst and returns it.
+func (r *Registry) snapshot(dst []float64) []float64 {
+	for _, m := range r.metrics {
+		switch m.kind {
+		case kindCounter:
+			dst = append(dst, float64(m.ctr.Value()))
+		case kindGauge:
+			dst = append(dst, m.fn())
+		}
+	}
+	return dst
+}

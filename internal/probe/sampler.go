@@ -1,0 +1,108 @@
+package probe
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Sampler snapshots every registered metric every K simulated cycles. It
+// implements sim.Ticker and is registered in the engine's Collect phase
+// by fabric.Network.InstallProbe, so samples observe a consistent
+// end-of-cycle view. Rows accumulate in memory (a 15k-cycle run sampled
+// every 256 cycles is ~60 rows) and are exported as CSV or NDJSON.
+type Sampler struct {
+	reg    *Registry
+	every  uint64
+	cycles []uint64
+	rows   [][]float64
+	last   uint64
+	any    bool
+}
+
+func newSampler(reg *Registry, every uint64) *Sampler {
+	return &Sampler{reg: reg, every: every}
+}
+
+// Tick implements sim.Ticker.
+func (s *Sampler) Tick(cycle uint64) {
+	if cycle%s.every == 0 {
+		s.sample(cycle)
+	}
+}
+
+// Flush takes a final sample at the given cycle unless one was already
+// taken there.
+func (s *Sampler) Flush(cycle uint64) {
+	if s.any && s.last == cycle {
+		return
+	}
+	s.sample(cycle)
+}
+
+func (s *Sampler) sample(cycle uint64) {
+	s.cycles = append(s.cycles, cycle)
+	s.rows = append(s.rows, s.reg.snapshot(make([]float64, 0, s.reg.Len())))
+	s.last = cycle
+	s.any = true
+}
+
+// Rows returns the number of samples taken.
+func (s *Sampler) Rows() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.rows)
+}
+
+// formatValue renders a sample value deterministically: the shortest
+// decimal form without an exponent, so integral values (the common case
+// — counters and occupancy gauges) print as plain integers.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+// WriteCSV writes the sampled time-series as CSV: a "cycle" column
+// followed by one column per metric in registration order.
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"cycle"}, s.reg.Names()...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for i, row := range s.rows {
+		rec = rec[:0]
+		rec = append(rec, strconv.FormatUint(s.cycles[i], 10))
+		for _, v := range row {
+			rec = append(rec, formatValue(v))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteNDJSON writes one JSON object per sample, with the cycle first
+// and the metrics in registration order (JSON members keep insertion
+// order here because the encoder is hand-rolled over the ordered slice).
+func (s *Sampler) WriteNDJSON(w io.Writer) error {
+	names := s.reg.Names()
+	for i, row := range s.rows {
+		if _, err := fmt.Fprintf(w, "{\"cycle\":%d", s.cycles[i]); err != nil {
+			return err
+		}
+		for j, v := range row {
+			if _, err := fmt.Fprintf(w, ",%s:%s", strconv.Quote(names[j]), formatValue(v)); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "}\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

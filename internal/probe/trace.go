@@ -1,0 +1,217 @@
+package probe
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"ownsim/internal/noc"
+)
+
+// EventKind identifies one step of a packet's lifecycle.
+type EventKind uint8
+
+const (
+	// EvEnqueue is the packet entering its source queue.
+	EvEnqueue EventKind = iota
+	// EvInject is the head flit leaving the source queue into the
+	// network interface.
+	EvInject
+	// EvRoute is route computation (RC) finishing at a router; Arg is
+	// the chosen output port.
+	EvRoute
+	// EvVCAlloc is virtual-channel allocation (VCA) succeeding; Arg is
+	// the granted output VC.
+	EvVCAlloc
+	// EvSwitch is the head flit winning switch allocation and
+	// traversing the crossbar (SA+ST); Arg is the output port.
+	EvSwitch
+	// EvTokenAcquire is a shared channel (photonic waveguide or
+	// wireless link) locking onto the packet; Arg is the token-passing
+	// cost in cycles paid for the acquisition.
+	EvTokenAcquire
+	// EvTokenRelease is the tail flit releasing the channel lock.
+	EvTokenRelease
+	// EvTransmit is the head flit being serialized onto a shared
+	// photonic/wireless medium; Arg is the receiver index.
+	EvTransmit
+	// EvEject is the tail flit reaching the destination sink.
+	EvEject
+	numEventKinds
+)
+
+var eventKindNames = [numEventKinds]string{
+	"enqueue", "inject", "route", "vc_alloc", "switch",
+	"token_acquire", "token_release", "transmit", "eject",
+}
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// Event is one recorded lifecycle step.
+type Event struct {
+	// Cycle is the simulated time of the event.
+	Cycle uint64
+	// Comp indexes the component (router, source, sink, channel) that
+	// recorded the event; see Tracer.ComponentName.
+	Comp int32
+	// Kind is the lifecycle step.
+	Kind EventKind
+	// Pkt, Src and Dst identify the packet.
+	Pkt      uint64
+	Src, Dst int32
+	// Arg is event-specific detail (output port, output VC, token cost,
+	// receiver index).
+	Arg int32
+}
+
+// Tracer records per-packet lifecycle events. Components register once
+// (Component) and emit events through hooks installed by
+// fabric.Network.InstallProbe; events are appended in engine order, so
+// the recorded stream is deterministic. Only packets selected by the
+// every-Nth sampling knob are traced, and the event buffer is capped to
+// bound memory.
+type Tracer struct {
+	every   uint64
+	max     int
+	comps   []string
+	events  []Event
+	dropped uint64
+}
+
+func newTracer(every uint64, max int) *Tracer {
+	return &Tracer{every: every, max: max}
+}
+
+// Sampled reports whether the packet with the given ID is traced.
+func (t *Tracer) Sampled(id uint64) bool {
+	return t != nil && id%t.every == 0
+}
+
+// Component registers a component name ("router.5", "src.0",
+// "photonic.c2/home7.0") and returns its index. Call once per component
+// at wiring time, in deterministic order.
+func (t *Tracer) Component(name string) int {
+	t.comps = append(t.comps, name)
+	return len(t.comps) - 1
+}
+
+// ComponentName returns the name registered for index c.
+func (t *Tracer) ComponentName(c int) string { return t.comps[c] }
+
+// Emit records one event for a sampled packet. Callers are expected to
+// have checked Sampled already (hooks are only invoked when tracing is
+// enabled, and filter per packet).
+func (t *Tracer) Emit(cycle uint64, comp int, kind EventKind, p *noc.Packet, arg int) {
+	if len(t.events) >= t.max {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, Event{
+		Cycle: cycle,
+		Comp:  int32(comp),
+		Kind:  kind,
+		Pkt:   p.ID,
+		Src:   int32(p.Src),
+		Dst:   int32(p.Dst),
+		Arg:   int32(arg),
+	})
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Dropped returns the number of events discarded after the buffer cap
+// was reached; nonzero means the trace is truncated (raise the sampling
+// stride or the cap).
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Events returns the recorded event stream in emission order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// WriteNDJSON writes one JSON object per event, in emission order.
+func (t *Tracer) WriteNDJSON(w io.Writer) error {
+	for _, e := range t.events {
+		_, err := fmt.Fprintf(w, "{\"cycle\":%d,\"comp\":%s,\"ev\":%q,\"pkt\":%d,\"src\":%d,\"dst\":%d,\"arg\":%d}\n",
+			e.Cycle, strconv.Quote(t.comps[e.Comp]), e.Kind, e.Pkt, e.Src, e.Dst, e.Arg)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteChrome writes the trace in Chrome trace-event JSON (loadable in
+// Perfetto or chrome://tracing): one "thread" per component, an instant
+// event per lifecycle step, and an async span per packet from enqueue to
+// ejection. Timestamps are simulated cycles interpreted as microseconds.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	// Thread metadata for every component that recorded at least one
+	// event; unused components are omitted to keep small traces small.
+	used := make([]bool, len(t.comps))
+	for _, e := range t.events {
+		used[e.Comp] = true
+	}
+	first := true
+	emit := func(format string, args ...any) error {
+		if !first {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	for i, name := range t.comps {
+		if !used[i] {
+			continue
+		}
+		if err := emit("{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":%s}}", i, strconv.Quote(name)); err != nil {
+			return err
+		}
+	}
+	for _, e := range t.events {
+		var err error
+		switch e.Kind {
+		case EvEnqueue:
+			err = emit("{\"name\":\"pkt\",\"cat\":\"pkt\",\"ph\":\"b\",\"id\":%d,\"pid\":0,\"tid\":%d,\"ts\":%d,\"args\":{\"src\":%d,\"dst\":%d}}",
+				e.Pkt, e.Comp, e.Cycle, e.Src, e.Dst)
+		case EvEject:
+			err = emit("{\"name\":\"pkt\",\"cat\":\"pkt\",\"ph\":\"e\",\"id\":%d,\"pid\":0,\"tid\":%d,\"ts\":%d}",
+				e.Pkt, e.Comp, e.Cycle)
+		}
+		if err != nil {
+			return err
+		}
+		if err := emit("{\"name\":%q,\"cat\":\"hop\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,\"ts\":%d,\"args\":{\"pkt\":%d,\"src\":%d,\"dst\":%d,\"arg\":%d}}",
+			e.Kind, e.Comp, e.Cycle, e.Pkt, e.Src, e.Dst, e.Arg); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}

@@ -17,6 +17,7 @@ import (
 
 	"ownsim/internal/noc"
 	"ownsim/internal/power"
+	"ownsim/internal/probe"
 )
 
 // RouteFunc computes the output port and the set of permitted output VCs
@@ -101,9 +102,38 @@ type Config struct {
 	Meter *power.Meter
 }
 
+// Counters holds the router's optional probe counter handles. All
+// handles may be nil (the default), in which case every increment is a
+// no-op; fabric.Network.InstallProbe populates them, sharing one set of
+// handles across routers for network-level aggregates or registering
+// per-router handles in per-component mode.
+type Counters struct {
+	// SAGrants counts switch-allocation grants (flits forwarded).
+	SAGrants *probe.Counter
+	// CreditStall counts SA candidates skipped for lack of downstream
+	// credits.
+	CreditStall *probe.Counter
+	// BusyStall counts SA candidates skipped because the output
+	// channel was still serializing a previous flit.
+	BusyStall *probe.Counter
+}
+
 // Router is a cycle-accurate input-queued VC router.
 type Router struct {
 	Cfg Config
+
+	// PC holds optional probe counters; see Counters.
+	PC Counters
+
+	// OnRoute, OnVCAlloc and OnSwitch are optional per-packet pipeline
+	// observers installed by fabric.Network.InstallProbe; nil (the
+	// default) costs one predictable branch per event site. OnRoute
+	// and OnVCAlloc fire once per packet per hop; OnSwitch fires for
+	// every forwarded flit (observers filter on f.IsHead() and their
+	// packet-sampling stride).
+	OnRoute   func(cycle uint64, p *noc.Packet, inPort, outPort int)
+	OnVCAlloc func(cycle uint64, p *noc.Packet, outPort, outVC int)
+	OnSwitch  func(cycle uint64, f *noc.Flit, inPort, outPort int)
 
 	in  []*InputPort
 	out []*OutputPort
@@ -248,7 +278,12 @@ func (r *Router) switchAllocate() {
 			continue
 		}
 		op := r.out[v.outPort]
-		if op.busyUntil > r.now || op.credits[v.outVC] <= 0 {
+		if op.busyUntil > r.now {
+			r.PC.BusyStall.Inc()
+			continue
+		}
+		if op.credits[v.outVC] <= 0 {
+			r.PC.CreditStall.Inc()
 			continue
 		}
 		cur := r.inBest[v.port]
@@ -282,6 +317,10 @@ func (r *Router) switchAllocate() {
 		r.Cfg.Meter.BufRead()
 		r.Cfg.Meter.Xbar(n)
 		r.Cfg.Meter.SAArb(n)
+		r.PC.SAGrants.Inc()
+		if r.OnSwitch != nil {
+			r.OnSwitch(r.now, f, v.port, p)
+		}
 		op.credits[v.outVC]--
 		op.busyUntil = r.now + uint64(op.serializeCy)
 		op.down.Send(f)
@@ -318,6 +357,9 @@ func (r *Router) vcAllocate() {
 			v.outVC = ovc
 			v.stage = stActive
 			r.Cfg.Meter.VCAArb()
+			if r.OnVCAlloc != nil {
+				r.OnVCAlloc(r.now, v.front().Pkt, v.outPort, ovc)
+			}
 			break
 		}
 	}
@@ -346,6 +388,9 @@ func (r *Router) routeCompute() {
 		v.outPort = outPort
 		v.vcMask = mask
 		v.stage = stWaitVCA
+		if r.OnRoute != nil {
+			r.OnRoute(r.now, f.Pkt, v.port, outPort)
+		}
 	}
 }
 

@@ -16,6 +16,10 @@ type Sink struct {
 	// OnPacket is invoked when a packet's tail flit arrives, with the
 	// ejection cycle. The statistics collector hooks in here.
 	OnPacket func(p *noc.Packet, cycle uint64)
+	// OnEject is the probe observer for completed packets, kept
+	// separate from OnPacket (which the statistics collector owns).
+	// fabric.Network.InstallProbe wires it; nil disables.
+	OnEject func(p *noc.Packet, cycle uint64)
 
 	upstream noc.CreditReturner
 	now      uint64
@@ -59,6 +63,9 @@ func (s *Sink) ReceiveFlit(_ int, f *noc.Flit) {
 		s.Ejected++
 		if s.OnPacket != nil {
 			s.OnPacket(p, s.now)
+		}
+		if s.OnEject != nil {
+			s.OnEject(p, s.now)
 		}
 	}
 }

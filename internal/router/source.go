@@ -36,6 +36,13 @@ type Source struct {
 	// OnAccepted is invoked for every packet admitted to the source
 	// queue; the statistics collector hooks in here.
 	OnAccepted func(p *noc.Packet)
+	// OnEnqueue and OnInject are optional probe observers, kept
+	// separate from OnAccepted (which the statistics collector owns):
+	// OnEnqueue fires when a packet is admitted to the source queue,
+	// OnInject when its head flit leaves the queue for the network.
+	// fabric.Network.InstallProbe wires them; nil disables.
+	OnEnqueue func(p *noc.Packet, cycle uint64)
+	OnInject  func(p *noc.Packet, cycle uint64)
 
 	out     noc.Conduit
 	numVCs  int
@@ -101,6 +108,9 @@ func (s *Source) Tick(cycle uint64) {
 				if s.OnAccepted != nil {
 					s.OnAccepted(p)
 				}
+				if s.OnEnqueue != nil {
+					s.OnEnqueue(p, cycle)
+				}
 			}
 		}
 	}
@@ -115,6 +125,9 @@ func (s *Source) Tick(cycle uint64) {
 			s.curVC = vc
 			p.InjectedAt = cycle
 			s.Injected++
+			if s.OnInject != nil {
+				s.OnInject(p, cycle)
+			}
 		}
 	}
 	// Send one flit per cycle when credits allow.

@@ -36,6 +36,19 @@ type Channel struct {
 	// OnTransmit observes every transmitted flit together with its
 	// receiver index; energy models hook in here.
 	OnTransmit func(f *noc.Flit, rx int)
+	// Kind labels the physical medium ("photonic", "wireless"); the
+	// builders set it and telemetry/tracing report it.
+	Kind string
+	// OnAcquire, OnRelease and OnFlitTx are optional probe observers
+	// (fabric.Network.InstallProbe wires them; nil disables):
+	// OnAcquire fires when the channel locks onto a packet, with the
+	// token-passing cost in cycles paid for the acquisition; OnRelease
+	// fires when the tail flit frees the lock; OnFlitTx fires per
+	// serialized flit with the simulated cycle (unlike OnTransmit,
+	// which energy accounting owns and which carries no timestamp).
+	OnAcquire func(cycle uint64, p *noc.Packet, tokenCostCy int)
+	OnRelease func(cycle uint64, p *noc.Packet)
+	OnFlitTx  func(cycle uint64, f *noc.Flit, rx int)
 
 	writers []*Writer
 	rxs     []*Rx
@@ -195,8 +208,14 @@ func (c *Channel) transmitLocked(cycle uint64) {
 	if c.OnTransmit != nil {
 		c.OnTransmit(f, c.lockedRx)
 	}
+	if c.OnFlitTx != nil {
+		c.OnFlitTx(cycle, f, c.lockedRx)
+	}
 	if f.IsTail() {
 		c.lockedW = -1
+		if c.OnRelease != nil {
+			c.OnRelease(cycle, f.Pkt)
+		}
 	}
 }
 
@@ -232,6 +251,9 @@ func (c *Channel) acquire(cycle uint64) {
 		c.busyUntil = cycle + uint64(d*c.TokenHopCy)
 		c.token = wi
 		c.tokenMoves += uint64(d)
+		if c.OnAcquire != nil {
+			c.OnAcquire(cycle, f.Pkt, d*c.TokenHopCy)
+		}
 		return
 	}
 }

@@ -12,6 +12,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"ownsim/internal/noc"
 )
@@ -51,7 +52,19 @@ type Collector struct {
 
 	// hist buckets latencies by power of two for percentile estimates.
 	hist [40]uint64
+
+	// lat retains the first LatencyReservoirCap measured latencies for
+	// exact percentiles; see Summary.PctSamples for the saturation
+	// caveat.
+	lat []uint64
 }
+
+// LatencyReservoirCap bounds the exact-percentile latency reservoir: the
+// first LatencyReservoirCap measured packets are retained verbatim
+// (512 KiB); beyond that, later packets fall back to the power-of-two
+// bucket estimate. The cutoff is deterministic (ejection order), so
+// summaries remain bit-for-bit reproducible.
+const LatencyReservoirCap = 1 << 16
 
 // NewCollector creates a collector for a run measuring cycles
 // [measureFrom, measureTo) across numNodes terminals.
@@ -80,6 +93,9 @@ func (c *Collector) OnEjected(p *noc.Packet, cycle uint64) {
 	}
 	c.ejectedMeasured++
 	lat := p.Latency()
+	if len(c.lat) < LatencyReservoirCap {
+		c.lat = append(c.lat, lat)
+	}
 	c.latencySum += float64(lat)
 	c.netLatencySum += float64(p.NetworkLatency())
 	if lat > c.latencyMax {
@@ -112,7 +128,21 @@ type Summary struct {
 	AvgLatency float64
 	// AvgNetLatency excludes source queueing.
 	AvgNetLatency float64
-	// P99Latency is an upper estimate from power-of-two buckets.
+	// P50Latency, P95Latency and P99Exact are exact nearest-rank
+	// percentiles over the latency reservoir. When more than
+	// LatencyReservoirCap packets were measured, they cover only the
+	// first LatencyReservoirCap ejections (PctSamples < Packets flags
+	// this), which biases them toward early — typically less congested
+	// — traffic; the bucket-based P99Latency bound stays valid for the
+	// whole run and is the fallback to quote in that regime.
+	P50Latency uint64
+	P95Latency uint64
+	P99Exact   uint64
+	// PctSamples is the number of latencies the exact percentiles were
+	// computed over.
+	PctSamples uint64
+	// P99Latency is an upper estimate from power-of-two buckets over
+	// every measured packet.
 	P99Latency uint64
 	// MaxLatency is the worst measured packet latency.
 	MaxLatency uint64
@@ -128,8 +158,9 @@ type Summary struct {
 
 // String renders the summary as a single line.
 func (s Summary) String() string {
-	return fmt.Sprintf("pkts=%d avgLat=%.1f p99<=%d maxLat=%d avgHops=%.2f thr=%.4f f/n/c",
-		s.Packets, s.AvgLatency, s.P99Latency, s.MaxLatency, s.AvgHops, s.Throughput)
+	return fmt.Sprintf("pkts=%d avgLat=%.1f p50=%d p95=%d p99=%d (p99<=%d) maxLat=%d avgHops=%.2f thr=%.4f f/n/c",
+		s.Packets, s.AvgLatency, s.P50Latency, s.P95Latency, s.P99Exact, s.P99Latency,
+		s.MaxLatency, s.AvgHops, s.Throughput)
 }
 
 // Summary computes the run digest.
@@ -158,7 +189,30 @@ func (c *Collector) Summary() Summary {
 			s.P99Latency = c.latencyMax
 		}
 	}
+	// Exact nearest-rank percentiles over the (possibly truncated)
+	// reservoir; the collector's copy stays in ejection order.
+	if len(c.lat) > 0 {
+		sorted := make([]uint64, len(c.lat))
+		copy(sorted, c.lat)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		s.PctSamples = uint64(len(sorted))
+		s.P50Latency = percentile(sorted, 0.50)
+		s.P95Latency = percentile(sorted, 0.95)
+		s.P99Exact = percentile(sorted, 0.99)
+	}
 	return s
+}
+
+// percentile returns the nearest-rank q-quantile of a sorted sample.
+func percentile(sorted []uint64, q float64) uint64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
 }
 
 // CurvePoint is one sample of a load-latency sweep.

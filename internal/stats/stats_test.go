@@ -203,3 +203,78 @@ func TestCapacityLoadFirstPointSaturated(t *testing.T) {
 		t.Fatalf("got %v (degenerate case returns first load)", got)
 	}
 }
+
+func TestExactPercentilesKnownDistribution(t *testing.T) {
+	c := NewCollector(1, 0, 1000)
+	// Latencies 1..100 in order: nearest-rank p50=50, p95=95, p99=99.
+	for i := uint64(1); i <= 100; i++ {
+		p := pkt(0, 0, i, 1, 1, true)
+		c.OnCreated(p)
+		c.OnEjected(p, i)
+	}
+	s := c.Summary()
+	if s.PctSamples != 100 {
+		t.Fatalf("PctSamples = %d, want 100", s.PctSamples)
+	}
+	if s.P50Latency != 50 || s.P95Latency != 95 || s.P99Exact != 99 {
+		t.Fatalf("percentiles p50=%d p95=%d p99=%d, want 50/95/99",
+			s.P50Latency, s.P95Latency, s.P99Exact)
+	}
+	if s.P99Exact > s.P99Latency {
+		t.Fatalf("exact p99 %d exceeds bucket upper bound %d", s.P99Exact, s.P99Latency)
+	}
+}
+
+func TestExactPercentilesUnsortedInput(t *testing.T) {
+	c := NewCollector(1, 0, 1000)
+	// Ejection order is not latency order; Summary must sort a copy.
+	for _, lat := range []uint64{40, 7, 99, 12, 63} {
+		p := pkt(0, 0, lat, 1, 1, true)
+		c.OnCreated(p)
+		c.OnEjected(p, lat)
+	}
+	s := c.Summary()
+	if s.P50Latency != 40 {
+		t.Fatalf("p50 = %d, want 40 (rank 3 of 5)", s.P50Latency)
+	}
+	if s.P95Latency != 99 || s.P99Exact != 99 {
+		t.Fatalf("tail percentiles %d/%d, want 99/99", s.P95Latency, s.P99Exact)
+	}
+	// A second Summary() call must not observe the first call's sort.
+	again := c.Summary()
+	if again != s {
+		t.Fatal("Summary() is not idempotent")
+	}
+}
+
+func TestPercentileSingleSample(t *testing.T) {
+	c := NewCollector(1, 0, 100)
+	p := pkt(0, 0, 42, 1, 1, true)
+	c.OnCreated(p)
+	c.OnEjected(p, 42)
+	s := c.Summary()
+	if s.P50Latency != 42 || s.P95Latency != 42 || s.P99Exact != 42 {
+		t.Fatalf("single-sample percentiles = %d/%d/%d, want all 42",
+			s.P50Latency, s.P95Latency, s.P99Exact)
+	}
+}
+
+func TestPercentilesZeroPackets(t *testing.T) {
+	s := NewCollector(1, 0, 100).Summary()
+	if s.P50Latency != 0 || s.P95Latency != 0 || s.P99Exact != 0 || s.PctSamples != 0 {
+		t.Fatalf("empty run percentiles nonzero: %+v", s)
+	}
+}
+
+func TestSummaryStringIncludesPercentiles(t *testing.T) {
+	c := NewCollector(1, 0, 100)
+	p := pkt(0, 0, 10, 1, 1, true)
+	c.OnCreated(p)
+	c.OnEjected(p, 10)
+	out := c.Summary().String()
+	for _, want := range []string{"p50=10", "p95=10", "p99=10"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String() = %q missing %q", out, want)
+		}
+	}
+}

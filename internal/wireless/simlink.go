@@ -50,6 +50,7 @@ func (o LinkOpts) txDepth() int {
 // rx and registers it with the network engine.
 func BuildP2P(n *fabric.Network, tx, rx Endpoint, o LinkOpts) *sbus.Channel {
 	ch := sbus.NewChannel(o.Name, o.SerializeCy, o.PropCy, o.TokenHopCy)
+	ch.Kind = "wireless"
 	meter := n.Meter
 	id, epb := o.ChannelID, o.EPBpJ
 	ch.OnTransmit = func(f *noc.Flit, _ int) { meter.Wireless(id, epb) }
@@ -70,6 +71,7 @@ func BuildP2P(n *fabric.Network, tx, rx Endpoint, o LinkOpts) *sbus.Channel {
 // paper identifies as the cost of wireless SWMR.
 func BuildSWMR(n *fabric.Network, txs, rxs []Endpoint, selectRx func(p *noc.Packet) int, o LinkOpts) *sbus.Channel {
 	ch := sbus.NewChannel(o.Name, o.SerializeCy, o.PropCy, o.TokenHopCy)
+	ch.Kind = "wireless"
 	meter := n.Meter
 	id, epb := o.ChannelID, o.EPBpJ
 	discards := len(rxs) - 1
