@@ -29,18 +29,38 @@ race:
 	$(GO) test -race ./...
 
 # smoke exercises the observability path end to end: a short traced
-# single run plus an instrumented sweep, then cmd/obscheck verifies that
-# every emitted artifact (metrics CSV/NDJSON, trace JSON/NDJSON, run
-# manifests) actually parses.
+# single run, an instrumented sweep, and a live-telemetry run whose
+# /metrics endpoint is scraped mid-flight (obscheck -scrape, no curl
+# needed), then cmd/obscheck verifies that every emitted artifact
+# (metrics CSV/NDJSON, trace JSON/NDJSON, run manifests, energy
+# attribution CSV, heatmap CSV/SVG, Prometheus scrape) actually parses.
+# Set SMOKEDIR to keep the artifacts (CI uploads them); by default a
+# temp dir is used and removed.
 smoke:
-	@dir=$$(mktemp -d) && trap "rm -rf $$dir" EXIT && \
+	@dir="$(SMOKEDIR)"; \
+	if [ -z "$$dir" ]; then dir=$$(mktemp -d); trap "rm -rf $$dir" EXIT; else mkdir -p "$$dir"; fi; \
+	set -e; \
 	$(GO) run ./cmd/ownsim -cores 256 -warmup 200 -measure 800 -seed 1 \
 		-metrics $$dir/run.csv -trace $$dir/run.json -sample 4 \
-		-manifest $$dir/run-manifest.json >/dev/null && \
+		-manifest $$dir/run-manifest.json >/dev/null; \
 	$(GO) run ./cmd/sweep -topo own -cores 256 -points 2 -warmup 200 -measure 800 \
 		-metrics $$dir/sweep.ndjson -trace $$dir/sweep-trace.ndjson -sample 4 \
-		-manifest $$dir/sweep-manifest.json >/dev/null 2>&1 && \
+		-manifest $$dir/sweep-manifest.json >/dev/null 2>&1; \
+	$(GO) run ./cmd/ownsim -cores 256 -warmup 200 -measure 600000 -seed 1 \
+		-listen 127.0.0.1:0 -energy $$dir/energy.csv -heatmap $$dir/heat \
+		-reservoir 4096 -manifest $$dir/live-manifest.json \
+		>/dev/null 2>$$dir/live.log & pid=$$!; \
+	url=""; for i in $$(seq 1 100); do \
+		url=$$(sed -n 's!.*live telemetry on \(http://[^ ]*\)!\1!p' $$dir/live.log); \
+		[ -n "$$url" ] && break; sleep 0.1; done; \
+	if [ -z "$$url" ]; then echo "smoke: live telemetry address never appeared"; \
+		cat $$dir/live.log; kill $$pid 2>/dev/null; exit 1; fi; \
+	$(GO) run ./cmd/obscheck -scrape $$url -o $$dir/smoke.prom; \
+	wait $$pid; \
 	$(GO) run ./cmd/obscheck $$dir/run.csv $$dir/run.json $$dir/run-manifest.json \
-		$$dir/sweep.ndjson $$dir/sweep-trace.ndjson $$dir/sweep-manifest.json
+		$$dir/sweep.ndjson $$dir/sweep-trace.ndjson $$dir/sweep-manifest.json \
+		$$dir/smoke.prom $$dir/energy.csv $$dir/live-manifest.json \
+		$$dir/heat_congestion.csv $$dir/heat_congestion.svg \
+		$$dir/heat_energy.csv $$dir/heat_energy.svg
 
 ci: fmt vet build lint race smoke

@@ -1,32 +1,70 @@
 // Command obscheck validates observability artifacts emitted by ownsim
 // and sweep: .json files must parse as one JSON value, .ndjson files as
-// one JSON object per line, and .csv files as a rectangular table with a
-// header row. It exits non-zero on the first invalid or empty file —
-// `make smoke` runs it in CI so a formatting regression in the probe
-// exporters cannot land silently.
+// one JSON object per line, .csv files as a rectangular table with a
+// header row (energy attribution CSVs additionally must have component
+// rows summing to their total row), .svg files as well-formed XML with
+// an svg root, and .prom files as Prometheus text exposition. It exits
+// non-zero on the first invalid or empty file — `make smoke` runs it in
+// CI so a formatting regression in the probe exporters cannot land
+// silently.
+//
+// With -scrape it first fetches a live /metrics endpoint (retrying while
+// the serving simulation starts up), validates the body as Prometheus
+// text and optionally saves it with -o — this is how the smoke test
+// exercises the live telemetry plane without needing curl.
 //
 // Usage:
 //
 //	obscheck trace.json metrics.csv manifest.json events.ndjson
+//	obscheck -scrape http://127.0.0.1:9090/metrics -o smoke.prom
 package main
 
 import (
 	"bufio"
 	"encoding/csv"
 	"encoding/json"
+	"encoding/xml"
+	"flag"
 	"fmt"
+	"io"
 	"log"
+	"math"
+	"net/http"
 	"os"
+	"strconv"
 	"strings"
+	"time"
+
+	"ownsim/internal/power"
+	"ownsim/internal/stats"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("obscheck: ")
-	if len(os.Args) < 2 {
-		log.Fatal("usage: obscheck file...")
+	scrape := flag.String("scrape", "", "fetch this URL (retrying while the target starts) and validate the body as Prometheus text")
+	out := flag.String("o", "", "with -scrape: write the fetched body to this file")
+	flag.Parse()
+	if *scrape == "" && flag.NArg() == 0 {
+		log.Fatal("usage: obscheck [-scrape URL [-o FILE]] file...")
 	}
-	for _, path := range os.Args[1:] {
+	if *scrape != "" {
+		b, err := scrapeURL(*scrape)
+		if err != nil {
+			log.Fatalf("scrape %s: %v", *scrape, err)
+		}
+		n, err := checkProm(b)
+		if err != nil {
+			log.Fatalf("scrape %s: %v", *scrape, err)
+		}
+		if *out != "" {
+			if err := os.WriteFile(*out, b, 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("ok %s (%d samples)\n", *scrape, n)
+	}
+	for _, path := range flag.Args() {
 		n, err := check(path)
 		if err != nil {
 			log.Fatalf("%s: %v", path, err)
@@ -35,19 +73,51 @@ func main() {
 	}
 }
 
+// scrapeURL fetches url, retrying for a few seconds so the caller can
+// race obscheck against a simulation that is still binding its listener.
+func scrapeURL(url string) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < 50; attempt++ {
+		resp, err := http.Get(url)
+		if err != nil {
+			lastErr = err
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case err != nil:
+			lastErr = err
+		case resp.StatusCode != http.StatusOK:
+			lastErr = fmt.Errorf("status %s", resp.Status)
+		case len(b) == 0:
+			lastErr = fmt.Errorf("empty body")
+		default:
+			return b, nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return nil, lastErr
+}
+
 func unit(path string) string {
 	switch {
 	case strings.HasSuffix(path, ".csv"):
 		return "rows"
 	case strings.HasSuffix(path, ".ndjson"):
 		return "lines"
+	case strings.HasSuffix(path, ".prom"):
+		return "samples"
+	case strings.HasSuffix(path, ".svg"):
+		return "elements"
 	default:
 		return "bytes"
 	}
 }
 
-// check validates one file and returns a size measure (rows, lines or
-// bytes depending on the format).
+// check validates one file and returns a size measure (rows, lines,
+// samples, elements or bytes depending on the format).
 func check(path string) (int, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
@@ -61,6 +131,10 @@ func check(path string) (int, error) {
 		return checkCSV(b)
 	case strings.HasSuffix(path, ".ndjson"):
 		return checkNDJSON(b)
+	case strings.HasSuffix(path, ".svg"):
+		return checkSVG(b)
+	case strings.HasSuffix(path, ".prom"):
+		return checkProm(b)
 	case strings.HasSuffix(path, ".json"):
 		var v any
 		if err := json.Unmarshal(b, &v); err != nil {
@@ -68,7 +142,7 @@ func check(path string) (int, error) {
 		}
 		return len(b), nil
 	default:
-		return 0, fmt.Errorf("unknown artifact extension (want .json, .ndjson or .csv)")
+		return 0, fmt.Errorf("unknown artifact extension (want .json, .ndjson, .csv, .svg or .prom)")
 	}
 }
 
@@ -83,7 +157,65 @@ func checkCSV(b []byte) (int, error) {
 	if len(recs) < 2 {
 		return 0, fmt.Errorf("CSV has no data rows (only %d records)", len(recs))
 	}
+	if isEnergyHeader(recs[0]) {
+		if err := checkEnergyCSV(recs); err != nil {
+			return 0, err
+		}
+	}
 	return len(recs) - 1, nil
+}
+
+// isEnergyHeader recognizes the energy attribution artifact by its
+// header so the sum invariant applies regardless of file name.
+func isEnergyHeader(rec []string) bool {
+	if len(rec) != len(power.EnergyCSVHeader) {
+		return false
+	}
+	for i, col := range power.EnergyCSVHeader {
+		if rec[i] != col {
+			return false
+		}
+	}
+	return true
+}
+
+// checkEnergyCSV enforces the attribution partition: the component rows'
+// energy_pj and avg_power_mw columns must sum to the final total row
+// (within float tolerance), and the total row must be last.
+func checkEnergyCSV(recs [][]string) error {
+	last := recs[len(recs)-1]
+	if last[0] != "total" {
+		return fmt.Errorf("energy CSV: last row is %q, want the total row", last[0])
+	}
+	sum := func(col int) (rows float64, total float64, err error) {
+		for i, rec := range recs[1:] {
+			v, perr := strconv.ParseFloat(rec[col], 64)
+			if perr != nil {
+				return 0, 0, fmt.Errorf("energy CSV row %d: bad %s %q", i+1, power.EnergyCSVHeader[col], rec[col])
+			}
+			if rec[0] == "total" {
+				if i != len(recs)-2 {
+					return 0, 0, fmt.Errorf("energy CSV: total row is not last")
+				}
+				total = v
+			} else {
+				rows += v
+			}
+		}
+		return rows, total, nil
+	}
+	for _, col := range []int{2, 3} { // energy_pj, avg_power_mw
+		rows, total, err := sum(col)
+		if err != nil {
+			return err
+		}
+		tol := 1e-6 * math.Max(1, math.Abs(total))
+		if !stats.ApproxEqual(rows, total, tol) {
+			return fmt.Errorf("energy CSV: %s rows sum to %g but total row says %g",
+				power.EnergyCSVHeader[col], rows, total)
+		}
+	}
+	return nil
 }
 
 func checkNDJSON(b []byte) (int, error) {
@@ -108,4 +240,87 @@ func checkNDJSON(b []byte) (int, error) {
 		return 0, fmt.Errorf("no NDJSON records")
 	}
 	return n, nil
+}
+
+// checkSVG verifies the file is well-formed XML whose root element is
+// <svg> and returns the element count.
+func checkSVG(b []byte) (int, error) {
+	dec := xml.NewDecoder(strings.NewReader(string(b)))
+	elements := 0
+	root := ""
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, fmt.Errorf("invalid XML: %v", err)
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			if root == "" {
+				root = se.Name.Local
+			}
+			elements++
+		}
+	}
+	if root != "svg" {
+		return 0, fmt.Errorf("root element is %q, want svg", root)
+	}
+	return elements, nil
+}
+
+// checkProm validates Prometheus text exposition (version 0.0.4 as the
+// obs package emits it): every line is a HELP/TYPE comment or a
+// `name value` sample with a legal metric name and a parseable value.
+// Returns the sample count.
+func checkProm(b []byte) (int, error) {
+	sc := bufio.NewScanner(strings.NewReader(string(b)))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	samples, lineNo := 0, 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return 0, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if !validPromName(fields[2]) {
+				return 0, fmt.Errorf("line %d: bad metric name %q", lineNo, fields[2])
+			}
+			continue
+		}
+		name, value, ok := strings.Cut(line, " ")
+		if !ok || !validPromName(name) {
+			return 0, fmt.Errorf("line %d: malformed sample %q", lineNo, line)
+		}
+		if _, err := strconv.ParseFloat(strings.TrimSpace(value), 64); err != nil {
+			return 0, fmt.Errorf("line %d: bad sample value %q", lineNo, value)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if samples == 0 {
+		return 0, fmt.Errorf("no samples")
+	}
+	return samples, nil
+}
+
+// validPromName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
 }

@@ -18,6 +18,7 @@ import (
 
 	"ownsim/internal/core"
 	"ownsim/internal/fabric"
+	"ownsim/internal/obs"
 	"ownsim/internal/power"
 	"ownsim/internal/probe"
 	"ownsim/internal/topology"
@@ -48,6 +49,10 @@ func main() {
 	window := flag.Uint64("window", 256, "metric sampling window in simulated cycles (with -metrics)")
 	percomp := flag.Bool("percomponent", false, "register per-router/per-source metrics in addition to aggregates")
 	manifest := flag.String("manifest", "", "write a machine-readable run manifest (JSON) to this path")
+	listen := flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /events) on this address during the run (e.g. :9090; port 0 picks a free port)")
+	energyPath := flag.String("energy", "", "write the per-component energy attribution to this path (CSV) and print the breakdown table")
+	heatmap := flag.String("heatmap", "", "write congestion and wireless-energy heatmaps (CSV+SVG) with this path prefix (implies -percomponent)")
+	reservoir := flag.Int("reservoir", 0, "exact-percentile latency reservoir size in packets (0 = default 65536)")
 	flag.Parse()
 
 	pat, err := traffic.ParsePattern(*pattern)
@@ -100,12 +105,13 @@ func main() {
 		fmt.Printf("wrote topology graph to %s\n", *dot)
 	}
 	var pb *probe.Probe
-	if *metrics != "" || *trace != "" {
+	if *metrics != "" || *trace != "" || *listen != "" || *heatmap != "" {
 		if *sample == 0 {
 			log.Fatal("-sample must be >= 1")
 		}
-		opts := probe.Options{PerComponent: *percomp}
-		if *metrics != "" {
+		// Heatmaps need per-router counters to resolve congestion per tile.
+		opts := probe.Options{PerComponent: *percomp || *heatmap != ""}
+		if *metrics != "" || *listen != "" {
 			if *window == 0 {
 				log.Fatal("-window must be >= 1")
 			}
@@ -117,10 +123,28 @@ func main() {
 		pb = probe.New(opts)
 		n.InstallProbe(pb)
 	}
+	// The live telemetry plane is read-only: it observes sampler snapshots
+	// over HTTP and feeds nothing back, so results and artifacts are
+	// byte-identical with or without it. Its address is deliberately kept
+	// out of the manifest (ephemeral ports would break reproducibility).
+	var srv *obs.Server
+	if *listen != "" {
+		srv = obs.New()
+		srv.Attach(pb)
+		addr, err := srv.Start(*listen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ownsim: live telemetry on http://%s/metrics\n", addr)
+	}
 	res := n.Run(
 		fabric.TrafficSpec{Pattern: pat, Rate: *load, Seed: *seed, Policy: sys.Policy, Classify: sys.Classify},
-		fabric.RunSpec{Warmup: *warmup, Measure: *measure},
+		fabric.RunSpec{Warmup: *warmup, Measure: *measure, ReservoirCap: *reservoir},
 	)
+	if srv != nil {
+		srv.MarkDone()
+	}
 
 	fmt.Printf("\nperformance: %s\n", res.Summary)
 	if !res.Drained {
@@ -135,6 +159,10 @@ func main() {
 		fmt.Println()
 		fmt.Print(n.Telemetry(*telemetry))
 	}
+	if *energyPath != "" {
+		fmt.Println()
+		fmt.Print(m.EnergyTable(n.Eng.Cycle()))
+	}
 
 	var man *probe.Manifest
 	if *manifest != "" {
@@ -142,18 +170,19 @@ func main() {
 		man = &probe.Manifest{
 			Tool: "ownsim",
 			Config: map[string]string{
-				"topo":     *topo,
-				"cores":    strconv.Itoa(*cores),
-				"pattern":  pat.String(),
-				"load":     strconv.FormatFloat(*load, 'g', -1, 64),
-				"config":   strconv.Itoa(*config),
-				"scenario": *scenario,
-				"warmup":   strconv.FormatUint(*warmup, 10),
-				"measure":  strconv.FormatUint(*measure, 10),
-				"reconfig": strconv.FormatBool(*reconfig),
-				"fail":     *fail,
-				"sample":   strconv.FormatUint(*sample, 10),
-				"window":   strconv.FormatUint(*window, 10),
+				"topo":      *topo,
+				"cores":     strconv.Itoa(*cores),
+				"pattern":   pat.String(),
+				"load":      strconv.FormatFloat(*load, 'g', -1, 64),
+				"config":    strconv.Itoa(*config),
+				"scenario":  *scenario,
+				"warmup":    strconv.FormatUint(*warmup, 10),
+				"measure":   strconv.FormatUint(*measure, 10),
+				"reconfig":  strconv.FormatBool(*reconfig),
+				"fail":      *fail,
+				"sample":    strconv.FormatUint(*sample, 10),
+				"window":    strconv.FormatUint(*window, 10),
+				"reservoir": strconv.Itoa(*reservoir),
 			},
 			Cores:   *cores,
 			Seed:    *seed,
@@ -174,6 +203,19 @@ func main() {
 				fmt.Printf("  WARNING: %d trace events dropped at the %d-event cap; raise -sample\n", t.Dropped(), probe.DefaultMaxTraceEvents)
 			}
 		}
+	}
+	if *energyPath != "" {
+		if err := obs.EmitEnergyCSV(n, *energyPath, man); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("energy:      %s\n", *energyPath)
+	}
+	if *heatmap != "" {
+		files, err := obs.EmitHeatmaps(n, *heatmap, man)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("heatmaps:    %s\n", strings.Join(files, ", "))
 	}
 	if man != nil {
 		if err := probe.WriteManifestFile(man, *manifest); err != nil {

@@ -3,17 +3,23 @@
 // on stdout. Sweep points run in parallel across CPUs; one progress line
 // per finished point goes to stderr.
 //
-// With -telemetry, -metrics or -trace (single -topo only), the highest
-// load point is re-run with the observability probe installed and the
-// requested artifacts are emitted; -manifest records the whole sweep —
-// configuration, every point, artifact digests — as machine-readable
-// JSON. Artifacts are deterministic: same flags and seed give byte-
-// identical files regardless of GOMAXPROCS.
+// With -telemetry, -metrics, -trace, -listen, -energy or -heatmap
+// (single -topo only), the highest load point is re-run with the
+// observability probe installed and the requested artifacts are emitted:
+// metric time-series, packet traces, the per-component energy
+// attribution CSV and congestion/wireless-energy heatmaps. -listen
+// additionally serves the re-run's live telemetry plane (/metrics
+// Prometheus text, /healthz, /events NDJSON) over HTTP while it runs.
+// -manifest records the whole sweep — configuration, every point,
+// artifact digests — as machine-readable JSON. Artifacts are
+// deterministic: same flags and seed give byte-identical files
+// regardless of GOMAXPROCS, with or without -listen.
 //
 // Examples:
 //
 //	sweep -topo all -cores 256 -pattern uniform -points 10
 //	sweep -topo own -points 8 -telemetry 5 -metrics m.csv -trace t.json -manifest run.json
+//	sweep -topo own -points 6 -listen :9090 -energy energy.csv -heatmap heat
 package main
 
 import (
@@ -22,11 +28,13 @@ import (
 	"log"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"ownsim/internal/core"
 	"ownsim/internal/fabric"
+	"ownsim/internal/obs"
 	"ownsim/internal/plot"
 	"ownsim/internal/power"
 	"ownsim/internal/probe"
@@ -54,6 +62,10 @@ func main() {
 	sample := flag.Uint64("sample", 1, "trace every Nth packet (with -trace; 1 = all)")
 	window := flag.Uint64("window", 256, "metric sampling window in simulated cycles (with -metrics)")
 	manifest := flag.String("manifest", "", "write a machine-readable sweep manifest (JSON) to this path")
+	listen := flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /events) on this address during the instrumented re-run (single -topo; port 0 picks a free port)")
+	energyPath := flag.String("energy", "", "write the instrumented point's per-component energy attribution CSV to this path (single -topo)")
+	heatmap := flag.String("heatmap", "", "write the instrumented point's congestion and wireless-energy heatmaps (CSV+SVG) with this path prefix (single -topo)")
+	reservoir := flag.Int("reservoir", 0, "exact-percentile latency reservoir size in packets per run (0 = default 65536)")
 	flag.Parse()
 
 	pat, err := traffic.ParsePattern(*pattern)
@@ -64,14 +76,15 @@ func main() {
 	if *topo != "all" {
 		names = []string{*topo}
 	}
-	instrumented := *telemetry > 0 || *metrics != "" || *trace != ""
+	instrumented := *telemetry > 0 || *metrics != "" || *trace != "" ||
+		*listen != "" || *energyPath != "" || *heatmap != ""
 	if (instrumented || *dot != "") && *topo == "all" {
-		log.Fatal("-telemetry, -dot, -metrics and -trace need a single -topo")
+		log.Fatal("-telemetry, -dot, -metrics, -trace, -listen, -energy and -heatmap need a single -topo")
 	}
 	if *sample == 0 || *window == 0 {
 		log.Fatal("-sample and -window must be >= 1")
 	}
-	b := core.Budget{Warmup: *warmup, Measure: *measure, Loads: *points, Seed: *seed}
+	b := core.Budget{Warmup: *warmup, Measure: *measure, Loads: *points, Seed: *seed, ReservoirCap: *reservoir}
 	loads := core.SweepLoads(*cores, *points)
 
 	var man *probe.Manifest
@@ -79,14 +92,15 @@ func main() {
 		man = &probe.Manifest{
 			Tool: "sweep",
 			Config: map[string]string{
-				"topo":    *topo,
-				"cores":   strconv.Itoa(*cores),
-				"pattern": pat.String(),
-				"points":  strconv.Itoa(*points),
-				"warmup":  strconv.FormatUint(*warmup, 10),
-				"measure": strconv.FormatUint(*measure, 10),
-				"sample":  strconv.FormatUint(*sample, 10),
-				"window":  strconv.FormatUint(*window, 10),
+				"topo":      *topo,
+				"cores":     strconv.Itoa(*cores),
+				"pattern":   pat.String(),
+				"points":    strconv.Itoa(*points),
+				"warmup":    strconv.FormatUint(*warmup, 10),
+				"measure":   strconv.FormatUint(*measure, 10),
+				"sample":    strconv.FormatUint(*sample, 10),
+				"window":    strconv.FormatUint(*window, 10),
+				"reservoir": strconv.Itoa(*reservoir),
 			},
 			Cores: *cores,
 			Seed:  *seed,
@@ -146,8 +160,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sweep: wrote topology graph to %s\n", *dot)
 		}
 		if instrumented {
-			opts := probe.Options{}
-			if *metrics != "" {
+			// Heatmaps need per-router counters for per-tile congestion.
+			opts := probe.Options{PerComponent: *heatmap != ""}
+			if *metrics != "" || *listen != "" {
 				opts.MetricsEvery = *window
 			}
 			if *trace != "" {
@@ -155,11 +170,28 @@ func main() {
 			}
 			pb := probe.New(opts)
 			n.InstallProbe(pb)
+			// Read-only live telemetry over the instrumented point; the
+			// address stays out of the manifest (ephemeral ports would
+			// break byte-identical reruns).
+			var srv *obs.Server
+			if *listen != "" {
+				srv = obs.New()
+				srv.Attach(pb)
+				addr, err := srv.Start(*listen)
+				if err != nil {
+					log.Fatal(err)
+				}
+				defer srv.Close()
+				fmt.Fprintf(os.Stderr, "sweep: live telemetry on http://%s/metrics\n", addr)
+			}
 			last := len(loads) - 1
 			res := n.Run(
 				fabric.TrafficSpec{Pattern: pat, Rate: loads[last], Seed: b.Seed + uint64(last), Policy: sys.Policy, Classify: sys.Classify},
-				fabric.RunSpec{Warmup: b.Warmup, Measure: b.Measure},
+				fabric.RunSpec{Warmup: b.Warmup, Measure: b.Measure, ReservoirCap: *reservoir},
 			)
+			if srv != nil {
+				srv.MarkDone()
+			}
 			fmt.Fprintf(os.Stderr, "sweep: instrumented %s @ load %.5f: %s\n", *topo, loads[last], res.Summary)
 			if *telemetry > 0 {
 				fmt.Fprint(os.Stderr, n.Telemetry(*telemetry))
@@ -169,6 +201,20 @@ func main() {
 			}
 			if t := pb.Tracer(); t != nil && t.Dropped() > 0 {
 				fmt.Fprintf(os.Stderr, "sweep: WARNING: %d trace events dropped at the cap; raise -sample\n", t.Dropped())
+			}
+			if *energyPath != "" {
+				if err := obs.EmitEnergyCSV(n, *energyPath, man); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Fprint(os.Stderr, n.Meter.EnergyTable(n.Eng.Cycle()))
+				fmt.Fprintf(os.Stderr, "sweep: wrote energy attribution to %s\n", *energyPath)
+			}
+			if *heatmap != "" {
+				files, err := obs.EmitHeatmaps(n, *heatmap, man)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Fprintf(os.Stderr, "sweep: wrote heatmaps: %s\n", strings.Join(files, ", "))
 			}
 		}
 	}

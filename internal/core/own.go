@@ -227,6 +227,7 @@ func BuildOWN256(p Params) *fabric.Network {
 			wireless.LinkOpts{
 				Name:         fmt.Sprintf("wl-%s-%s", l.TxAntenna, l.RxAntenna),
 				ChannelID:    l.ID,
+				ClassLabel:   l.Class.String(),
 				EPBpJ:        epb,
 				SerializeCy:  topology.WirelessCyPerFlit(bw),
 				PropCy:       1,

@@ -183,6 +183,7 @@ func BuildOWN1024(p Params) *fabric.Network {
 			wireless.LinkOpts{
 				Name:         fmt.Sprintf("wl-g%d-g%d-%s", l.SrcGroup, l.DstGroup, l.Antenna),
 				ChannelID:    l.ID,
+				ClassLabel:   l.Class.String(),
 				EPBpJ:        ch.EPBpJ,
 				SerializeCy:  ser,
 				PropCy:       1,

@@ -3,11 +3,14 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
 
 	"ownsim/internal/fabric"
+	"ownsim/internal/obs"
 	"ownsim/internal/power"
 	"ownsim/internal/probe"
 	"ownsim/internal/stats"
@@ -19,15 +22,16 @@ import (
 // observability path end to end: a parallel sweep with a progress
 // callback, followed by a single-threaded instrumented re-run of the
 // highest-load point. Every exported artifact — the curve itself, the
-// metrics CSV, the Chrome trace and the manifest — must be byte-identical
-// whether the sweep's worker pool ran on 1 or 4 procs; host parallelism
-// may only change how fast the answer arrives, never the answer.
+// metrics CSV, the Chrome trace, the energy attribution CSV, the heatmaps
+// and the manifest — must be byte-identical whether the sweep's worker
+// pool ran on 1 or 4 procs; host parallelism may only change how fast the
+// answer arrives, never the answer.
 func TestInstrumentedSweepArtifactsAcrossGOMAXPROCS(t *testing.T) {
 	sys := NewSystem("own", 256, wireless.Config4, wireless.Ideal)
 	loads := SweepLoads(256, 2)
 	b := Budget{Warmup: 200, Measure: 800, Loads: 2, Seed: 7}
 
-	render := func(procs int) (string, []byte, []byte, []byte) {
+	render := func(procs int) (string, map[string][]byte, []byte) {
 		old := runtime.GOMAXPROCS(procs)
 		defer runtime.GOMAXPROCS(old)
 
@@ -60,6 +64,30 @@ func TestInstrumentedSweepArtifactsAcrossGOMAXPROCS(t *testing.T) {
 		if err := p.Tracer().WriteChrome(&trace); err != nil {
 			t.Fatal(err)
 		}
+
+		// The observability artifacts go through the real emission path
+		// (a scratch dir on disk), then into the manifest under fixed
+		// logical names so both renders produce identical manifests.
+		dir := t.TempDir()
+		if err := obs.EmitEnergyCSV(n, filepath.Join(dir, "energy.csv"), nil); err != nil {
+			t.Fatal(err)
+		}
+		files, err := obs.EmitHeatmaps(n, filepath.Join(dir, "hm"), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(files) != 4 {
+			t.Fatalf("heatmap files = %v, want congestion + wireless energy pairs", files)
+		}
+		arts := map[string][]byte{"metrics.csv": metrics.Bytes(), "trace.json": trace.Bytes()}
+		for _, path := range append(files, filepath.Join(dir, "energy.csv")) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			arts[filepath.Base(path)] = raw
+		}
+
 		man := &probe.Manifest{Tool: "sweep-test", Config: map[string]string{"sys": sys.Name}, Cores: sys.Cores, Seed: b.Seed}
 		for i, pt := range pts {
 			man.Points = append(man.Points, probe.Point{
@@ -69,22 +97,22 @@ func TestInstrumentedSweepArtifactsAcrossGOMAXPROCS(t *testing.T) {
 		}
 		man.AddArtifact("metrics", "metrics.csv", metrics.Bytes())
 		man.AddArtifact("trace", "trace.json", trace.Bytes())
+		man.AddArtifact("energy", "energy.csv", arts["energy.csv"])
 		if err := man.WriteJSON(&manifest); err != nil {
 			t.Fatal(err)
 		}
-		return fmt.Sprintf("%+v", pts), metrics.Bytes(), trace.Bytes(), manifest.Bytes()
+		return fmt.Sprintf("%+v", pts), arts, manifest.Bytes()
 	}
 
-	pts1, m1, t1, man1 := render(1)
-	pts4, m4, t4, man4 := render(4)
+	pts1, arts1, man1 := render(1)
+	pts4, arts4, man4 := render(4)
 	if pts1 != pts4 {
 		t.Fatalf("sweep points depend on GOMAXPROCS:\n  1: %s\n  4: %s", pts1, pts4)
 	}
-	if !bytes.Equal(m1, m4) {
-		t.Fatal("metrics CSV depends on GOMAXPROCS")
-	}
-	if !bytes.Equal(t1, t4) {
-		t.Fatal("Chrome trace depends on GOMAXPROCS")
+	for name, a1 := range arts1 {
+		if !bytes.Equal(a1, arts4[name]) {
+			t.Fatalf("%s depends on GOMAXPROCS", name)
+		}
 	}
 	if !bytes.Equal(man1, man4) {
 		t.Fatal("manifest depends on GOMAXPROCS")

@@ -20,6 +20,9 @@ type Budget struct {
 	Loads int
 	// Seed decorrelates repeated sweeps.
 	Seed uint64
+	// ReservoirCap sizes the exact-percentile latency reservoir per run;
+	// 0 keeps stats.LatencyReservoirCap.
+	ReservoirCap int
 }
 
 // FullBudget is the default used by cmd/figures.
@@ -95,7 +98,7 @@ func SweepWithProgress(sys System, pattern traffic.Pattern, loads []float64, b B
 	ParallelMap(len(loads), func(i int) {
 		res := sys.Run(
 			fabric.TrafficSpec{Pattern: pattern, Rate: loads[i], Seed: b.Seed + uint64(i)},
-			fabric.RunSpec{Warmup: b.Warmup, Measure: b.Measure},
+			fabric.RunSpec{Warmup: b.Warmup, Measure: b.Measure, ReservoirCap: b.ReservoirCap},
 		)
 		points[i] = stats.CurvePoint{
 			Load:       loads[i],

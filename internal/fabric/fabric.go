@@ -193,6 +193,10 @@ type RunSpec struct {
 	Measure uint64
 	// DrainBudget bounds the drain phase; 0 means 4x Measure.
 	DrainBudget uint64
+	// ReservoirCap sizes the exact-percentile latency reservoir; 0 keeps
+	// stats.LatencyReservoirCap. Summary.Truncated reports whether the
+	// run overflowed it.
+	ReservoirCap int
 }
 
 func (r RunSpec) drain() uint64 {
@@ -221,6 +225,7 @@ func (n *Network) Run(ts TrafficSpec, rs RunSpec) Result {
 		ts.PktFlits = 5
 	}
 	col := stats.NewCollector(n.NumCores, rs.Warmup, rs.Warmup+rs.Measure)
+	col.SetReservoirCap(rs.ReservoirCap)
 	n.Collector = col
 	for id, src := range n.Sources {
 		if src == nil {

@@ -112,6 +112,29 @@ func (n *Network) registerMetrics(p *probe.Probe) {
 		}
 	}
 
+	// Energy attribution gauges: cumulative picojoule accumulators read
+	// straight from the power meter, one per component plus one per
+	// wireless link-distance class. The sampler's cycle-windowed
+	// snapshots turn these into per-window energy series; the registered
+	// set is fixed here because channel class labels are complete once
+	// the topology is built.
+	if m := n.Meter; m != nil {
+		reg.Gauge("energy.buf_write_pj", func() float64 { return m.BufWritePJ })
+		reg.Gauge("energy.buf_read_pj", func() float64 { return m.BufReadPJ })
+		reg.Gauge("energy.xbar_pj", func() float64 { return m.XbarPJ })
+		reg.Gauge("energy.arb_pj", func() float64 { return m.ArbPJ })
+		reg.Gauge("energy.elec_link_pj", func() float64 { return m.ElecLinkPJ })
+		reg.Gauge("energy.photonic_pj", func() float64 { return m.PhotonicPJ })
+		reg.Gauge("energy.wireless_tx_pj", func() float64 { return m.WirelessPJ })
+		reg.Gauge("energy.wireless_rx_pj", func() float64 { return m.WirelessRxPJ })
+		for _, class := range m.WirelessClasses() {
+			class := class
+			reg.Gauge("energy.wireless."+class+"_pj", func() float64 {
+				return m.WirelessClassPJ(class)
+			})
+		}
+	}
+
 	// Shared-medium channels: cumulative stats the channel already
 	// tracks, exported under the channel's name.
 	for _, ch := range n.Channels {
@@ -137,6 +160,29 @@ func (n *Network) registerMetrics(p *probe.Probe) {
 			})
 		}
 	}
+}
+
+// RouterLabels returns one display label per router, index-aligned with
+// CongestionValues, for heatmap artifacts.
+func (n *Network) RouterLabels() []string {
+	labels := make([]string, len(n.Routers))
+	for i, r := range n.Routers {
+		labels[i] = fmt.Sprintf("r%d", r.Cfg.ID)
+	}
+	return labels
+}
+
+// CongestionValues returns one congestion figure per router: the sum of
+// its credit-stall and busy-stall probe counters over the run. It is
+// meaningful only with a per-component probe installed
+// (probe.Options.PerComponent); with shared network-wide handles every
+// router reports the same aggregate, and with no probe all zeros.
+func (n *Network) CongestionValues() []float64 {
+	vals := make([]float64, len(n.Routers))
+	for i, r := range n.Routers {
+		vals[i] = float64(r.PC.CreditStall.Value() + r.PC.BusyStall.Value())
+	}
+	return vals
 }
 
 // channelLabel prefixes a channel's name with its medium kind so metric

@@ -95,6 +95,7 @@ var DeterministicPackages = []string{
 	"internal/core",
 	"internal/probe",
 	"internal/sbus",
+	"internal/obs",
 }
 
 // inScope reports whether relPath is within any of the listed

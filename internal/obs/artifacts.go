@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+
+	"ownsim/internal/fabric"
+	"ownsim/internal/plot"
+	"ownsim/internal/probe"
+)
+
+// Artifact emission for the observability flags shared by cmd/ownsim and
+// cmd/sweep: the per-component energy attribution CSV and the
+// congestion/energy heatmaps. Every file is built in memory first so the
+// manifest can digest exactly the bytes written; content depends only on
+// simulation state, never on the live telemetry server.
+
+// EmitEnergyCSV writes the network's per-component energy attribution
+// (power.Meter.WriteEnergyCSV over the simulated cycles) to path and
+// records it in the manifest when one is being built.
+func EmitEnergyCSV(n *fabric.Network, path string, man *probe.Manifest) error {
+	if n.Meter == nil {
+		return fmt.Errorf("obs: energy attribution requested but the network has no power meter")
+	}
+	var buf bytes.Buffer
+	if err := n.Meter.WriteEnergyCSV(&buf, n.Eng.Cycle()); err != nil {
+		return err
+	}
+	return writeArtifact("energy", path, buf.Bytes(), man)
+}
+
+// EmitHeatmaps writes the heatmap artifacts with the given path prefix
+// and returns the files written:
+//
+//	<prefix>_congestion.csv/.svg — per-router stall counts (requires a
+//	    per-component probe for per-router resolution);
+//	<prefix>_energy.csv/.svg     — per-wireless-channel transmit energy,
+//	    labelled with the channel's link-distance class (skipped when the
+//	    network has no wireless channels).
+func EmitHeatmaps(n *fabric.Network, prefix string, man *probe.Manifest) ([]string, error) {
+	var written []string
+	emit := func(name, path string, content []byte) error {
+		if err := writeArtifact(name, path, content, man); err != nil {
+			return err
+		}
+		written = append(written, path)
+		return nil
+	}
+
+	congestion := &plot.Heatmap{
+		Title:  fmt.Sprintf("%s: router congestion (credit+busy stalls)", n.Name),
+		Labels: n.RouterLabels(),
+		Values: n.CongestionValues(),
+	}
+	var buf bytes.Buffer
+	if err := congestion.WriteCSV(&buf); err != nil {
+		return written, err
+	}
+	if err := emit("congestion_heatmap", prefix+"_congestion.csv", buf.Bytes()); err != nil {
+		return written, err
+	}
+	if err := emit("congestion_heatmap_svg", prefix+"_congestion.svg", []byte(congestion.SVG())); err != nil {
+		return written, err
+	}
+
+	m := n.Meter
+	if m == nil || len(m.WirelessChanPJ) == 0 {
+		return written, nil
+	}
+	labels := make([]string, len(m.WirelessChanPJ))
+	for i := range labels {
+		class := m.ChannelClass(i)
+		if class == "" {
+			class = "unclassified"
+		}
+		labels[i] = fmt.Sprintf("ch%d/%s", i, class)
+	}
+	energy := &plot.Heatmap{
+		Title:  fmt.Sprintf("%s: wireless channel energy (pJ)", n.Name),
+		Labels: labels,
+		Values: m.WirelessChanPJ,
+	}
+	buf.Reset()
+	if err := energy.WriteCSV(&buf); err != nil {
+		return written, err
+	}
+	if err := emit("energy_heatmap", prefix+"_energy.csv", buf.Bytes()); err != nil {
+		return written, err
+	}
+	if err := emit("energy_heatmap_svg", prefix+"_energy.svg", []byte(energy.SVG())); err != nil {
+		return written, err
+	}
+	return written, nil
+}
+
+// writeArtifact writes content to path and digests it into the manifest.
+func writeArtifact(name, path string, content []byte, man *probe.Manifest) error {
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		return err
+	}
+	if man != nil {
+		man.AddArtifact(name, path, content)
+	}
+	return nil
+}

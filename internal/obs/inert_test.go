@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+
+	"ownsim/internal/fabric"
+	"ownsim/internal/noc"
+	"ownsim/internal/plot"
+	"ownsim/internal/power"
+	"ownsim/internal/probe"
+	"ownsim/internal/router"
+	"ownsim/internal/traffic"
+)
+
+// obsRing builds a small ring of radix-3 routers (port 0 terminal in,
+// port 1 terminal out, port 2 ring) with energy metering on every link.
+func obsRing(nRouters int, m *power.Meter) *fabric.Network {
+	n := fabric.New("obsring", nRouters, m)
+	n.Diameter = nRouters
+	routers := make([]*router.Router, nRouters)
+	for i := 0; i < nRouters; i++ {
+		id := i
+		routers[i] = n.AddRouter(router.Config{
+			ID: id, NumPorts: 3, NumVCs: 2, BufDepth: 4,
+			Route: func(p *noc.Packet, _ int) (int, uint32) {
+				if p.Dst == id {
+					return 1, 3
+				}
+				return 2, 3
+			},
+		})
+	}
+	for i := 0; i < nRouters; i++ {
+		n.Connect(routers[i], 2, routers[(i+1)%nRouters], 2,
+			fabric.LinkSpec{Delay: 2, SerializeCy: 1, LengthMM: 1.5})
+	}
+	for i := 0; i < nRouters; i++ {
+		n.AddTerminal(i, routers[i], 0, 1)
+	}
+	return n
+}
+
+func runObsRing(t *testing.T, live bool) (fabric.Result, *fabric.Network) {
+	t.Helper()
+	n := obsRing(4, power.NewMeter(nil))
+	var srv *Server
+	if live {
+		p := probe.New(probe.Options{MetricsEvery: 32, PerComponent: true})
+		n.InstallProbe(p)
+		srv = New()
+		srv.Attach(p)
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		// Poll the live plane before the run to prove reads are harmless.
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	res := n.Run(
+		fabric.TrafficSpec{Pattern: traffic.Uniform, Rate: 0.08, PktFlits: 3, Seed: 11},
+		fabric.RunSpec{Warmup: 100, Measure: 800},
+	)
+	if srv != nil {
+		srv.MarkDone()
+	}
+	return res, n
+}
+
+// TestLivePlaneInert extends the probe-inertness guarantee to the whole
+// telemetry plane: running with the HTTP server up, per-component probes
+// installed and a client scraping must leave the summary, the power
+// breakdown and the energy attribution bit-for-bit unchanged.
+func TestLivePlaneInert(t *testing.T) {
+	bare, bn := runObsRing(t, false)
+	live, ln := runObsRing(t, true)
+	if bare.Summary != live.Summary {
+		t.Fatalf("live plane changed the summary:\n  off: %v\n  on:  %v", bare.Summary, live.Summary)
+	}
+	if bare.Power != live.Power {
+		t.Fatalf("live plane changed the power breakdown:\n  off: %v\n  on:  %v", bare.Power, live.Power)
+	}
+	var bBuf, lBuf bytes.Buffer
+	if err := bn.Meter.WriteEnergyCSV(&bBuf, bn.Eng.Cycle()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ln.Meter.WriteEnergyCSV(&lBuf, ln.Eng.Cycle()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bBuf.Bytes(), lBuf.Bytes()) {
+		t.Fatalf("live plane changed energy.csv:\n--- off\n%s--- on\n%s", bBuf.String(), lBuf.String())
+	}
+}
+
+// TestHeatmapArtifactsByteStable renders the energy and congestion
+// artifacts from two identical probed runs and requires byte equality.
+func TestHeatmapArtifactsByteStable(t *testing.T) {
+	render := func() (energy, congCSV, congSVG []byte) {
+		n := obsRing(4, power.NewMeter(nil))
+		n.InstallProbe(probe.New(probe.Options{MetricsEvery: 32, PerComponent: true}))
+		n.Run(
+			fabric.TrafficSpec{Pattern: traffic.Uniform, Rate: 0.08, PktFlits: 3, Seed: 11},
+			fabric.RunSpec{Warmup: 100, Measure: 800},
+		)
+		var eBuf bytes.Buffer
+		if err := n.Meter.WriteEnergyCSV(&eBuf, n.Eng.Cycle()); err != nil {
+			t.Fatal(err)
+		}
+		hm := &plot.Heatmap{Labels: n.RouterLabels(), Values: n.CongestionValues()}
+		var cBuf bytes.Buffer
+		if err := hm.WriteCSV(&cBuf); err != nil {
+			t.Fatal(err)
+		}
+		return eBuf.Bytes(), cBuf.Bytes(), []byte(hm.SVG())
+	}
+	e1, c1, s1 := render()
+	e2, c2, s2 := render()
+	if !bytes.Equal(e1, e2) {
+		t.Fatal("energy CSV differs across identical runs")
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Fatal("congestion heatmap CSV differs across identical runs")
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Fatal("congestion heatmap SVG differs across identical runs")
+	}
+}
+
+// TestEmitHeatmapsWirelessLabels charges two wireless channels (one
+// classed, one not) and checks the energy heatmap pair appears with
+// class-qualified channel labels.
+func TestEmitHeatmapsWirelessLabels(t *testing.T) {
+	m := power.NewMeter(nil)
+	n := obsRing(3, m)
+	n.InstallProbe(probe.New(probe.Options{PerComponent: true}))
+	n.Run(
+		fabric.TrafficSpec{Pattern: traffic.Uniform, Rate: 0.05, PktFlits: 2, Seed: 3},
+		fabric.RunSpec{Warmup: 50, Measure: 200},
+	)
+	m.SetChannelClass(0, "C2C")
+	m.Wireless(0, 1.25)
+	m.Wireless(1, 0.5)
+
+	dir := t.TempDir()
+	files, err := EmitHeatmaps(n, dir+"/hm", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 4 {
+		t.Fatalf("files = %v, want congestion + energy pairs", files)
+	}
+	raw, err := os.ReadFile(dir + "/hm_energy.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ch0/C2C", "ch1/unclassified"} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("energy heatmap CSV missing label %q:\n%s", want, raw)
+		}
+	}
+}
+
+// TestEmitHeatmapsSkipsEnergyWithoutWireless checks the wireless-energy
+// heatmap is omitted on a network that never charged a wireless channel.
+func TestEmitHeatmapsSkipsEnergyWithoutWireless(t *testing.T) {
+	n := obsRing(3, power.NewMeter(nil))
+	n.InstallProbe(probe.New(probe.Options{PerComponent: true}))
+	n.Run(
+		fabric.TrafficSpec{Pattern: traffic.Uniform, Rate: 0.05, PktFlits: 2, Seed: 3},
+		fabric.RunSpec{Warmup: 50, Measure: 200},
+	)
+	dir := t.TempDir()
+	files, err := EmitHeatmaps(n, dir+"/hm", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("files = %v, want only the congestion pair (no wireless energy charged)", files)
+	}
+}

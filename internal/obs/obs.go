@@ -1,0 +1,245 @@
+// Package obs is the live telemetry plane: a small HTTP server that
+// exposes a running simulation's probe metrics as Prometheus text
+// (/metrics), a liveness/progress snapshot (/healthz) and a streaming
+// NDJSON feed of sampler windows (/events). It is strictly read-only:
+// the simulation goroutine publishes immutable snapshots through
+// Server.Publish (wired to probe.Sampler.OnSample by Attach), HTTP
+// handlers only ever read the latest snapshot under a mutex, and nothing
+// ever flows from the server back into the simulation. Enabling the
+// plane therefore cannot change simulation results or any file artifact
+// — the determinism tests assert byte-identical summaries and manifests
+// with the server on and off.
+//
+// The package is inside ownlint's deterministic scope: it uses no wall
+// clock, no global RNG and no environment reads; all timestamps in
+// served payloads are simulated cycles. (net/http keeps its own internal
+// timers, but none of them reach any payload byte.)
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"ownsim/internal/probe"
+)
+
+// Server serves read-only telemetry snapshots over HTTP.
+type Server struct {
+	mu sync.Mutex
+	// meta is fixed at Attach time (registration order).
+	meta []probe.MetricInfo
+	// promNames are the sanitized, collision-free Prometheus names,
+	// index-aligned with meta.
+	promNames []string
+	// Latest snapshot.
+	cycle   uint64
+	values  []float64
+	samples uint64
+	done    bool
+	// line is the latest snapshot pre-rendered as one NDJSON line.
+	line    string
+	subs    []subscriber
+	nextSub int
+	dropped uint64
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// subscriber is one connected /events client.
+type subscriber struct {
+	id int
+	ch chan string
+}
+
+// New creates a detached server; call Attach to wire a probe and Start
+// to begin serving.
+func New() *Server {
+	return &Server{}
+}
+
+// Attach wires the server to a probe: metric metadata is copied from the
+// registry and every sampler snapshot is published to HTTP clients. Call
+// it after fabric.Network.InstallProbe (the registry must be fully
+// populated) and before the run. A nil probe or a probe without a
+// sampler attaches metadata only — /metrics then serves whatever was
+// registered, with no updates.
+func (s *Server) Attach(p *probe.Probe) {
+	reg := p.Registry()
+	s.mu.Lock()
+	s.meta = reg.Meta()
+	s.promNames = promNames(s.meta)
+	s.mu.Unlock()
+	if smp := p.Sampler(); smp != nil {
+		smp.OnSample = s.Publish
+	}
+}
+
+// Publish records a new snapshot and fans it out to /events subscribers.
+// It runs on the simulation goroutine and never blocks: a subscriber
+// that cannot keep up loses samples (counted in /healthz as dropped).
+func (s *Server) Publish(cycle uint64, values []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cycle = cycle
+	if cap(s.values) < len(values) {
+		s.values = make([]float64, len(values))
+	}
+	s.values = s.values[:len(values)]
+	copy(s.values, values)
+	s.samples++
+	s.line = ndjsonLine(cycle, s.meta, values)
+	for _, sub := range s.subs {
+		select {
+		case sub.ch <- s.line:
+		default:
+			s.dropped++
+		}
+	}
+}
+
+// MarkDone flips /healthz status from "running" to "done"; the CLI tools
+// call it after the simulation finishes, before emitting artifacts.
+func (s *Server) MarkDone() {
+	s.mu.Lock()
+	s.done = true
+	s.mu.Unlock()
+}
+
+// Start listens on addr (host:port; port 0 picks a free port) and serves
+// until Close. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/events", s.handleEvents)
+	s.ln = ln
+	s.srv = &http.Server{Handler: mux}
+	go func() {
+		// ErrServerClosed after Close is the normal exit.
+		_ = s.srv.Serve(ln)
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address, or "" before Start.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and all in-flight handlers.
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	s.mu.Lock()
+	s.writePrometheusLocked(&b)
+	s.mu.Unlock()
+	_, _ = fmt.Fprint(w, b.String())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	status := "running"
+	if s.done {
+		status = "done"
+	}
+	payload := map[string]any{
+		"status":  status,
+		"cycle":   s.cycle,
+		"samples": s.samples,
+		"metrics": len(s.meta),
+		"dropped": s.dropped,
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(payload)
+}
+
+// handleEvents streams sampler windows as NDJSON: the latest snapshot
+// first (if any), then every new one as it is published, until the
+// client disconnects or the server closes.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	// Flush the headers immediately so a client that connects before the
+	// first sample still sees the stream open instead of blocking.
+	w.WriteHeader(http.StatusOK)
+	if fl != nil {
+		fl.Flush()
+	}
+
+	ch := make(chan string, 64)
+	s.mu.Lock()
+	id := s.nextSub
+	s.nextSub++
+	s.subs = append(s.subs, subscriber{id: id, ch: ch})
+	last := s.line
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		for i, sub := range s.subs {
+			if sub.id == id {
+				s.subs = append(s.subs[:i], s.subs[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+	}()
+
+	emit := func(line string) bool {
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return false
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+		return true
+	}
+	if last != "" && !emit(last) {
+		return
+	}
+	for {
+		select {
+		case line := <-ch:
+			if !emit(line) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// ndjsonLine renders one snapshot in the sampler's NDJSON member order
+// (cycle first, then metrics in registration order).
+func ndjsonLine(cycle uint64, meta []probe.MetricInfo, values []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "{\"cycle\":%d", cycle)
+	for i, v := range values {
+		if i >= len(meta) {
+			break
+		}
+		fmt.Fprintf(&b, ",%s:%s", strconv.Quote(meta[i].Name), strconv.FormatFloat(v, 'f', -1, 64))
+	}
+	b.WriteString("}")
+	return b.String()
+}

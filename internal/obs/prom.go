@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ownsim/internal/probe"
+)
+
+// Prometheus text exposition (version 0.0.4). Metric names are the
+// probe registry's hierarchical names mapped into the Prometheus
+// alphabet under an "ownsim_" prefix; the original name is preserved in
+// the HELP line so dashboards can recover the hierarchy. Output order is
+// registry registration order plus two synthetic leading metrics, so the
+// exposition for a given snapshot is byte-deterministic (the golden test
+// in obs_test.go pins the format).
+
+// promNames sanitizes every metric name and resolves collisions (two
+// hierarchical names can map to the same sanitized form) by appending a
+// numeric suffix in registration order.
+func promNames(meta []probe.MetricInfo) []string {
+	names := make([]string, len(meta))
+	taken := make(map[string]int) // lookup only; iteration stays slice-ordered
+	for i, m := range meta {
+		base := sanitizePromName(m.Name)
+		name := base
+		for n := 2; ; n++ {
+			if _, dup := taken[name]; !dup {
+				break
+			}
+			name = fmt.Sprintf("%s_%d", base, n)
+		}
+		taken[name] = i
+		names[i] = name
+	}
+	return names
+}
+
+// sanitizePromName maps a hierarchical metric name into the Prometheus
+// name alphabet [a-zA-Z0-9_] with the ownsim_ prefix.
+func sanitizePromName(name string) string {
+	var b strings.Builder
+	b.WriteString("ownsim_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// writePrometheusLocked renders the current snapshot; the caller holds
+// s.mu.
+func (s *Server) writePrometheusLocked(b *strings.Builder) {
+	status := 1
+	if s.done {
+		status = 0
+	}
+	fmt.Fprintf(b, "# HELP ownsim_running 1 while the simulation is still running, 0 once it finished.\n")
+	fmt.Fprintf(b, "# TYPE ownsim_running gauge\n")
+	fmt.Fprintf(b, "ownsim_running %d\n", status)
+	fmt.Fprintf(b, "# HELP ownsim_cycle Simulated cycle of the latest metric sample.\n")
+	fmt.Fprintf(b, "# TYPE ownsim_cycle gauge\n")
+	fmt.Fprintf(b, "ownsim_cycle %d\n", s.cycle)
+	fmt.Fprintf(b, "# HELP ownsim_samples_total Metric samples published so far.\n")
+	fmt.Fprintf(b, "# TYPE ownsim_samples_total counter\n")
+	fmt.Fprintf(b, "ownsim_samples_total %d\n", s.samples)
+	for i, m := range s.meta {
+		v := 0.0
+		if i < len(s.values) {
+			v = s.values[i]
+		}
+		kind := "gauge"
+		if m.Counter {
+			kind = "counter"
+		}
+		fmt.Fprintf(b, "# HELP %s Probe metric %q.\n", s.promNames[i], m.Name)
+		fmt.Fprintf(b, "# TYPE %s %s\n", s.promNames[i], kind)
+		fmt.Fprintf(b, "%s %s\n", s.promNames[i], strconv.FormatFloat(v, 'f', -1, 64))
+	}
+}
+
+// PrometheusText renders the current snapshot as the exposition body
+// (what /metrics serves); tests and the golden file use it directly.
+func (s *Server) PrometheusText() string {
+	var b strings.Builder
+	s.mu.Lock()
+	s.writePrometheusLocked(&b)
+	s.mu.Unlock()
+	return b.String()
+}

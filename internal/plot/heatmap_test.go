@@ -1,0 +1,135 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+func testHeatmap() *Heatmap {
+	return &Heatmap{
+		Title:  "congestion <&> \"test\"",
+		Labels: []string{"r0", "r1", "r2", "r3", "r4"},
+		Values: []float64{0, 1.5, 3, 0.25, 7},
+	}
+}
+
+func TestHeatmapDeterministicRendering(t *testing.T) {
+	render := func() (string, string) {
+		h := testHeatmap()
+		var buf bytes.Buffer
+		if err := h.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), h.SVG()
+	}
+	csv1, svg1 := render()
+	csv2, svg2 := render()
+	if csv1 != csv2 {
+		t.Fatal("CSV rendering is not deterministic")
+	}
+	if svg1 != svg2 {
+		t.Fatal("SVG rendering is not deterministic")
+	}
+}
+
+func TestHeatmapCSVShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testHeatmap().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "index,row,col,label,value" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 1+5 {
+		t.Fatalf("want one row per cell, got %d lines", len(lines))
+	}
+	// 5 values lay out near-square on 3 columns: index 4 is row 1, col 1.
+	if lines[5] != "4,1,1,r4,7" {
+		t.Fatalf("last row = %q", lines[5])
+	}
+}
+
+func TestHeatmapColsNearSquare(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{0, 1}, {1, 1}, {4, 2}, {5, 3}, {9, 3}, {10, 4}, {64, 8}, {65, 9},
+	} {
+		h := &Heatmap{Values: make([]float64, tc.n)}
+		if got := h.cols(); got != tc.want {
+			t.Fatalf("cols(%d values) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+	h := &Heatmap{Cols: 7, Values: make([]float64, 3)}
+	if h.cols() != 7 {
+		t.Fatal("explicit Cols not honored")
+	}
+}
+
+func TestHeatmapSVGWellFormed(t *testing.T) {
+	svg := testHeatmap().SVG()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	var root string
+	elems := 0
+	for {
+		tok, err := dec.Token()
+		if tok == nil {
+			break
+		}
+		if err != nil {
+			t.Fatalf("SVG is not well-formed XML: %v", err)
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			if root == "" {
+				root = se.Name.Local
+			}
+			elems++
+		}
+	}
+	if root != "svg" {
+		t.Fatalf("root element = %q", root)
+	}
+	// svg + background + title text + 5 cell rects (each with <title>) + legend.
+	if elems < 1+1+1+5*2+1 {
+		t.Fatalf("only %d elements in SVG", elems)
+	}
+	if !strings.Contains(svg, "congestion &lt;&amp;&gt;") {
+		t.Fatal("title not XML-escaped")
+	}
+}
+
+func TestHeatColorClampsAndRamps(t *testing.T) {
+	if got := heatColor(math.NaN()); got != heatColor(0) {
+		t.Fatalf("NaN maps to %s, want the t=0 color", got)
+	}
+	if heatColor(-5) != heatColor(0) || heatColor(5) != heatColor(1) {
+		t.Fatal("out-of-range t not clamped")
+	}
+	for _, tc := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		c := heatColor(tc)
+		if len(c) != 7 || c[0] != '#' {
+			t.Fatalf("heatColor(%v) = %q, want #rrggbb", tc, c)
+		}
+	}
+	if heatColor(0) == heatColor(1) {
+		t.Fatal("ramp endpoints are identical")
+	}
+}
+
+func TestHeatmapSVGHandlesNonFinite(t *testing.T) {
+	h := &Heatmap{
+		Labels: []string{"a", "b", "c"},
+		Values: []float64{math.NaN(), math.Inf(1), 2},
+	}
+	svg := h.SVG()
+	if !strings.HasPrefix(svg, "<svg ") || !strings.HasSuffix(svg, "</svg>\n") {
+		t.Fatal("non-finite values broke the SVG envelope")
+	}
+	// All-non-finite input must still render with the fallback scale.
+	h2 := &Heatmap{Values: []float64{math.NaN()}}
+	if !strings.Contains(h2.SVG(), "min 0  max 1") {
+		t.Fatal("fallback min/max legend missing")
+	}
+}

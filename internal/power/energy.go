@@ -1,0 +1,212 @@
+package power
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Energy attribution: the Meter already accumulates dynamic energy per
+// component; this file breaks those totals down into a deterministic row
+// set — per component and, for the wireless substrate, per link-distance
+// class (C2C/E2E/SR) — that sums exactly to the Breakdown the Meter
+// reports. The rows back the energy.csv artifact and the paper-style
+// breakdown table, and cmd/obscheck re-verifies the sum invariant on the
+// emitted file.
+
+// SetChannelClass labels a wireless channel with its link-distance class
+// ("C2C", "E2E", "SR", or any builder-chosen label such as "grid" for
+// the wireless-CMESH mesh links). The wireless builders call it at wiring
+// time; energy charged to the channel via Wireless is then attributable
+// per class. Nil-safe like every Meter method.
+func (m *Meter) SetChannelClass(ch int, class string) {
+	if m == nil || ch < 0 {
+		return
+	}
+	for len(m.chanClass) <= ch {
+		m.chanClass = append(m.chanClass, "")
+	}
+	m.chanClass[ch] = class
+}
+
+// ChannelClass returns the class label of a wireless channel, or "" when
+// the channel was never labelled.
+func (m *Meter) ChannelClass(ch int) string {
+	if m == nil || ch < 0 || ch >= len(m.chanClass) {
+		return ""
+	}
+	return m.chanClass[ch]
+}
+
+// classOf normalizes a channel's label for reporting.
+func (m *Meter) classOf(ch int) string {
+	if c := m.ChannelClass(ch); c != "" {
+		return c
+	}
+	return "unclassified"
+}
+
+// WirelessClasses returns the sorted set of class labels across every
+// channel that was labelled (SetChannelClass) or charged (Wireless), so
+// the set is already complete at network-build time and stable for the
+// whole run (slice iteration only — no map order).
+func (m *Meter) WirelessClasses() []string {
+	if m == nil {
+		return nil
+	}
+	n := len(m.WirelessChanPJ)
+	if len(m.chanClass) > n {
+		n = len(m.chanClass)
+	}
+	var classes []string
+	for ch := 0; ch < n; ch++ {
+		c := m.classOf(ch)
+		found := false
+		for _, have := range classes {
+			if have == c {
+				found = true
+				break
+			}
+		}
+		if !found {
+			classes = append(classes, c)
+		}
+	}
+	sort.Strings(classes)
+	return classes
+}
+
+// WirelessClassPJ sums the per-channel wireless transmit energy of every
+// channel labelled with the given class.
+func (m *Meter) WirelessClassPJ(class string) float64 {
+	if m == nil {
+		return 0
+	}
+	sum := 0.0
+	for ch, pj := range m.WirelessChanPJ {
+		if m.classOf(ch) == class {
+			sum += pj
+		}
+	}
+	return sum
+}
+
+// EnergyRow is one line of the per-component energy attribution.
+type EnergyRow struct {
+	// Component names the energy sink ("buffer_write", "crossbar",
+	// "wireless_tx", "static", ...), mirroring the Breakdown stacking.
+	Component string
+	// Class is the wireless link-distance class for wireless_tx rows
+	// ("C2C", "E2E", "SR", ...) and "-" for class-less components.
+	Class string
+	// EnergyPJ is the attributed energy over the run, picojoules. For
+	// the static row it is leakage+tuning power integrated over the run.
+	EnergyPJ float64
+	// AvgPowerMW is EnergyPJ spread over the simulated time.
+	AvgPowerMW float64
+	// Share is AvgPowerMW as a fraction of the total.
+	Share float64
+}
+
+// EnergyRows returns the full attribution over the given simulated
+// cycles, in a fixed component order (router pipeline, static, links,
+// photonic, wireless per class, wireless RX). The rows' AvgPowerMW sum
+// to Report(cycles).TotalMW up to float summation order, and the
+// wireless_tx rows partition WirelessPJ by channel class (any energy
+// charged without a channel ID lands in an "unattributed" row so the
+// partition is exact). It panics if cycles is zero.
+func (m *Meter) EnergyRows(cycles uint64) []EnergyRow {
+	if cycles == 0 {
+		panic("power: energy rows over zero cycles")
+	}
+	ns := float64(cycles) * m.P.CycleNS()
+	staticMW := m.leakMW + float64(m.ringCount)*m.P.PRingTuneUW/1000.0
+
+	rows := []EnergyRow{
+		{Component: "buffer_write", Class: "-", EnergyPJ: m.BufWritePJ},
+		{Component: "buffer_read", Class: "-", EnergyPJ: m.BufReadPJ},
+		{Component: "crossbar", Class: "-", EnergyPJ: m.XbarPJ},
+		{Component: "arbiter", Class: "-", EnergyPJ: m.ArbPJ},
+		{Component: "static", Class: "-", EnergyPJ: staticMW * ns},
+		{Component: "elec_link", Class: "-", EnergyPJ: m.ElecLinkPJ},
+		{Component: "photonic", Class: "-", EnergyPJ: m.PhotonicPJ},
+	}
+	attributed := 0.0
+	for _, class := range m.WirelessClasses() {
+		pj := m.WirelessClassPJ(class)
+		attributed += pj
+		rows = append(rows, EnergyRow{Component: "wireless_tx", Class: class, EnergyPJ: pj})
+	}
+	// Wireless energy charged with a negative channel ID has no class;
+	// keep the partition exact with a residual row.
+	if resid := m.WirelessPJ - attributed; resid > 1e-9 {
+		rows = append(rows, EnergyRow{Component: "wireless_tx", Class: "unattributed", EnergyPJ: resid})
+	}
+	rows = append(rows, EnergyRow{Component: "wireless_rx_discard", Class: "-", EnergyPJ: m.WirelessRxPJ})
+
+	total := 0.0
+	for i := range rows {
+		rows[i].AvgPowerMW = rows[i].EnergyPJ / ns
+		total += rows[i].AvgPowerMW
+	}
+	if total > 0 {
+		for i := range rows {
+			rows[i].Share = rows[i].AvgPowerMW / total
+		}
+	}
+	return rows
+}
+
+// formatEnergy renders a value with the repository's deterministic float
+// convention (shortest round-trip decimal, no exponent).
+func formatEnergy(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+// EnergyCSVHeader is the column set of the energy.csv artifact;
+// cmd/obscheck keys its sum-invariant rule on it.
+var EnergyCSVHeader = []string{"component", "class", "energy_pj", "avg_power_mw", "share"}
+
+// WriteEnergyCSV writes the attribution as the energy.csv artifact: one
+// row per EnergyRow plus a final "total" row. Deterministic: fixed row
+// order, shortest-decimal floats.
+func (m *Meter) WriteEnergyCSV(w io.Writer, cycles uint64) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(EnergyCSVHeader); err != nil {
+		return err
+	}
+	var totPJ, totMW float64
+	for _, r := range m.EnergyRows(cycles) {
+		totPJ += r.EnergyPJ
+		totMW += r.AvgPowerMW
+		rec := []string{r.Component, r.Class, formatEnergy(r.EnergyPJ), formatEnergy(r.AvgPowerMW), formatEnergy(r.Share)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	if err := cw.Write([]string{"total", "-", formatEnergy(totPJ), formatEnergy(totMW), "1"}); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// EnergyTable renders the attribution as a paper-style breakdown table
+// (the Figure 6 stacking, extended with the per-class wireless split).
+func (m *Meter) EnergyTable(cycles uint64) string {
+	rows := m.EnergyRows(cycles)
+	var b strings.Builder
+	fmt.Fprintf(&b, "energy attribution over %d cycles:\n", cycles)
+	fmt.Fprintf(&b, "%-20s %-8s %14s %10s %7s\n", "component", "class", "energy (pJ)", "avg mW", "share")
+	var totPJ, totMW float64
+	for _, r := range rows {
+		totPJ += r.EnergyPJ
+		totMW += r.AvgPowerMW
+		fmt.Fprintf(&b, "%-20s %-8s %14.1f %10.3f %6.1f%%\n", r.Component, r.Class, r.EnergyPJ, r.AvgPowerMW, 100*r.Share)
+	}
+	fmt.Fprintf(&b, "%-20s %-8s %14.1f %10.3f %6.1f%%\n", "total", "-", totPJ, totMW, 100.0)
+	return b.String()
+}

@@ -1,0 +1,169 @@
+package power
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ownsim/internal/stats"
+)
+
+// chargedMeter builds a meter with energy in every category and three
+// wireless channels across two classes plus one unlabelled channel.
+func chargedMeter() *Meter {
+	m := NewMeter(nil)
+	m.RegisterRouter(5, 2)
+	m.RegisterInputPort(2)
+	m.RegisterRings(8)
+	for i := 0; i < 3; i++ {
+		m.BufWrite()
+		m.BufRead()
+	}
+	m.Xbar(5)
+	m.SAArb(5)
+	m.VCAArb()
+	m.ElecLink(2.5)
+	m.Photonic()
+	m.SetChannelClass(0, "C2C")
+	m.SetChannelClass(1, "E2E")
+	m.Wireless(0, 1.0)
+	m.Wireless(0, 1.0)
+	m.Wireless(1, 0.5)
+	m.Wireless(2, 0.15) // labelled by nobody -> "unclassified"
+	m.WirelessDiscard()
+	return m
+}
+
+// TestEnergyRowsSumToBreakdown is the attribution's core invariant: the
+// rows' average powers must sum to the Breakdown total the Meter already
+// reports, and the wireless rows must partition WirelessPJ exactly.
+func TestEnergyRowsSumToBreakdown(t *testing.T) {
+	m := chargedMeter()
+	const cycles = 1000
+	rows := m.EnergyRows(cycles)
+
+	var totalMW, wirelessTxPJ float64
+	for _, r := range rows {
+		totalMW += r.AvgPowerMW
+		if r.Component == "wireless_tx" {
+			wirelessTxPJ += r.EnergyPJ
+		}
+	}
+	want := m.Report(cycles).TotalMW()
+	if !stats.ApproxEqual(totalMW, want, 1e-9*want) {
+		t.Fatalf("rows sum to %.12f mW, Breakdown total is %.12f mW", totalMW, want)
+	}
+	if !stats.ApproxEqual(wirelessTxPJ, m.WirelessPJ, 1e-9) {
+		t.Fatalf("wireless_tx rows sum to %f pJ, meter charged %f pJ", wirelessTxPJ, m.WirelessPJ)
+	}
+
+	var shares float64
+	for _, r := range rows {
+		shares += r.Share
+	}
+	if !stats.ApproxEqual(shares, 1, 1e-9) {
+		t.Fatalf("shares sum to %f, want 1", shares)
+	}
+}
+
+// TestWirelessClassAttribution checks the per-class split: labelled
+// channels fall under their class, unlabelled ones under "unclassified",
+// and the class set is sorted and complete at build time (before any
+// energy is charged).
+func TestWirelessClassAttribution(t *testing.T) {
+	m := NewMeter(nil)
+	m.SetChannelClass(0, "C2C")
+	m.SetChannelClass(1, "E2E")
+	m.SetChannelClass(2, "SR")
+
+	got := m.WirelessClasses()
+	want := []string{"C2C", "E2E", "SR"}
+	if len(got) != len(want) {
+		t.Fatalf("classes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("classes = %v, want %v (sorted)", got, want)
+		}
+	}
+
+	m.Wireless(0, 1.0)
+	m.Wireless(2, 1.0)
+	m.Wireless(2, 1.0)
+	if c2c, sr := m.WirelessClassPJ("C2C"), m.WirelessClassPJ("SR"); !stats.ApproxEqual(sr, 2*c2c, 1e-9) {
+		t.Fatalf("SR charged twice as often as C2C but C2C=%f SR=%f", c2c, sr)
+	}
+	if e2e := m.WirelessClassPJ("E2E"); !stats.ApproxZero(e2e, 0) {
+		t.Fatalf("idle E2E class charged %f pJ", e2e)
+	}
+
+	// A channel charged without a label lands in "unclassified".
+	m.Wireless(3, 1.0)
+	found := false
+	for _, c := range m.WirelessClasses() {
+		if c == "unclassified" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unlabelled channel missing from classes %v", m.WirelessClasses())
+	}
+
+	// Energy charged with no channel ID at all becomes the residual row.
+	m.Wireless(-1, 1.0)
+	resid := false
+	for _, r := range m.EnergyRows(100) {
+		if r.Component == "wireless_tx" && r.Class == "unattributed" {
+			resid = true
+		}
+	}
+	if !resid {
+		t.Fatal("channel-less wireless energy produced no unattributed row")
+	}
+}
+
+// TestWriteEnergyCSV checks the artifact shape: the pinned header, one
+// total row last, and byte-identical output across identical meters.
+func TestWriteEnergyCSV(t *testing.T) {
+	render := func() []byte {
+		var buf bytes.Buffer
+		if err := chargedMeter().WriteEnergyCSV(&buf, 1000); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatal("energy CSV differs across identical meters")
+	}
+	lines := strings.Split(strings.TrimSpace(string(a)), "\n")
+	if got, want := lines[0], strings.Join(EnergyCSVHeader, ","); got != want {
+		t.Fatalf("header = %q, want %q", got, want)
+	}
+	if !strings.HasPrefix(lines[len(lines)-1], "total,") {
+		t.Fatalf("last row %q is not the total", lines[len(lines)-1])
+	}
+	for _, class := range []string{"C2C", "E2E", "unclassified"} {
+		if !strings.Contains(string(a), "wireless_tx,"+class+",") {
+			t.Fatalf("class %s missing from CSV:\n%s", class, a)
+		}
+	}
+}
+
+func TestEnergyTableRenders(t *testing.T) {
+	out := chargedMeter().EnergyTable(1000)
+	for _, want := range []string{"buffer_write", "crossbar", "static", "wireless_tx", "C2C", "total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEnergyRowsZeroCyclesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero cycles")
+		}
+	}()
+	NewMeter(nil).EnergyRows(0)
+}

@@ -34,6 +34,9 @@ type Meter struct {
 
 	// Per-wireless-channel energy, pJ, for Figure 5-style reporting.
 	WirelessChanPJ []float64
+	// chanClass labels channels with their link-distance class for
+	// energy attribution; see SetChannelClass.
+	chanClass []string
 
 	// Static inventory.
 	leakMW    float64

@@ -99,6 +99,29 @@ func (r *Registry) Len() int {
 	return len(r.metrics)
 }
 
+// MetricInfo describes one registered metric for exporters that need
+// more than the name (the Prometheus exposition in internal/obs renders
+// counters and gauges with different TYPE lines).
+type MetricInfo struct {
+	// Name is the hierarchical metric name.
+	Name string
+	// Counter reports whether the metric is a monotonic counter (false:
+	// a sampled gauge).
+	Counter bool
+}
+
+// Meta returns the metric metadata in registration order.
+func (r *Registry) Meta() []MetricInfo {
+	if r == nil {
+		return nil
+	}
+	infos := make([]MetricInfo, len(r.metrics))
+	for i, m := range r.metrics {
+		infos[i] = MetricInfo{Name: m.name, Counter: m.kind == kindCounter}
+	}
+	return infos
+}
+
 // Names returns the metric names in registration order.
 func (r *Registry) Names() []string {
 	if r == nil {

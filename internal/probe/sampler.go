@@ -19,6 +19,14 @@ type Sampler struct {
 	rows   [][]float64
 	last   uint64
 	any    bool
+
+	// OnSample, when set, observes every snapshot as it is taken (cycle
+	// plus the values in registration order). The live telemetry plane
+	// (internal/obs) publishes each sample to HTTP subscribers through
+	// it. The callback runs on the simulation goroutine and must not
+	// feed anything back into the simulation; the slice is shared, so
+	// the observer must copy it if it retains the values.
+	OnSample func(cycle uint64, values []float64)
 }
 
 func newSampler(reg *Registry, every uint64) *Sampler {
@@ -46,6 +54,9 @@ func (s *Sampler) sample(cycle uint64) {
 	s.rows = append(s.rows, s.reg.snapshot(make([]float64, 0, s.reg.Len())))
 	s.last = cycle
 	s.any = true
+	if s.OnSample != nil {
+		s.OnSample(cycle, s.rows[len(s.rows)-1])
+	}
 }
 
 // Rows returns the number of samples taken.

@@ -53,17 +53,22 @@ type Collector struct {
 	// hist buckets latencies by power of two for percentile estimates.
 	hist [40]uint64
 
-	// lat retains the first LatencyReservoirCap measured latencies for
-	// exact percentiles; see Summary.PctSamples for the saturation
-	// caveat.
+	// lat retains the first reservoirCap() measured latencies for exact
+	// percentiles; see Summary.PctSamples for the saturation caveat.
 	lat []uint64
+
+	// ReservoirCap overrides the exact-percentile reservoir size when
+	// > 0 (see SetReservoirCap); 0 keeps LatencyReservoirCap.
+	ReservoirCap int
 }
 
-// LatencyReservoirCap bounds the exact-percentile latency reservoir: the
-// first LatencyReservoirCap measured packets are retained verbatim
-// (512 KiB); beyond that, later packets fall back to the power-of-two
-// bucket estimate. The cutoff is deterministic (ejection order), so
-// summaries remain bit-for-bit reproducible.
+// LatencyReservoirCap is the default bound on the exact-percentile
+// latency reservoir: the first LatencyReservoirCap measured packets are
+// retained verbatim (512 KiB); beyond that, later packets fall back to
+// the power-of-two bucket estimate. The cutoff is deterministic
+// (ejection order), so summaries remain bit-for-bit reproducible.
+// SetReservoirCap (the -reservoir flag on the CLI tools) adjusts the
+// bound per run.
 const LatencyReservoirCap = 1 << 16
 
 // NewCollector creates a collector for a run measuring cycles
@@ -73,6 +78,26 @@ func NewCollector(numNodes int, measureFrom, measureTo uint64) *Collector {
 		panic("stats: invalid measurement window")
 	}
 	return &Collector{NumNodes: numNodes, MeasureFrom: measureFrom, MeasureTo: measureTo}
+}
+
+// SetReservoirCap sizes the exact-percentile reservoir (n latencies kept
+// verbatim; 8 bytes each). Call before the first ejection; n <= 0 keeps
+// the LatencyReservoirCap default. It panics if samples were already
+// collected — resizing mid-run would make the retained prefix depend on
+// when the call happened.
+func (c *Collector) SetReservoirCap(n int) {
+	if len(c.lat) > 0 {
+		panic("stats: reservoir resized after collection started")
+	}
+	c.ReservoirCap = n
+}
+
+// reservoirCap returns the effective reservoir bound.
+func (c *Collector) reservoirCap() int {
+	if c.ReservoirCap > 0 {
+		return c.ReservoirCap
+	}
+	return LatencyReservoirCap
 }
 
 // OnCreated notes a newly generated packet (fabric calls it for every
@@ -93,7 +118,7 @@ func (c *Collector) OnEjected(p *noc.Packet, cycle uint64) {
 	}
 	c.ejectedMeasured++
 	lat := p.Latency()
-	if len(c.lat) < LatencyReservoirCap {
+	if len(c.lat) < c.reservoirCap() {
 		c.lat = append(c.lat, lat)
 	}
 	c.latencySum += float64(lat)
@@ -141,6 +166,9 @@ type Summary struct {
 	// PctSamples is the number of latencies the exact percentiles were
 	// computed over.
 	PctSamples uint64
+	// Truncated reports that the reservoir overflowed: the exact
+	// percentiles cover only the first PctSamples of Packets ejections.
+	Truncated bool
 	// P99Latency is an upper estimate from power-of-two buckets over
 	// every measured packet.
 	P99Latency uint64
@@ -158,9 +186,13 @@ type Summary struct {
 
 // String renders the summary as a single line.
 func (s Summary) String() string {
-	return fmt.Sprintf("pkts=%d avgLat=%.1f p50=%d p95=%d p99=%d (p99<=%d) maxLat=%d avgHops=%.2f thr=%.4f f/n/c",
+	line := fmt.Sprintf("pkts=%d avgLat=%.1f p50=%d p95=%d p99=%d (p99<=%d) maxLat=%d avgHops=%.2f thr=%.4f f/n/c",
 		s.Packets, s.AvgLatency, s.P50Latency, s.P95Latency, s.P99Exact, s.P99Latency,
 		s.MaxLatency, s.AvgHops, s.Throughput)
+	if s.Truncated {
+		line += fmt.Sprintf(" [pct over first %d]", s.PctSamples)
+	}
+	return line
 }
 
 // Summary computes the run digest.
@@ -200,6 +232,7 @@ func (c *Collector) Summary() Summary {
 		s.P95Latency = percentile(sorted, 0.95)
 		s.P99Exact = percentile(sorted, 0.99)
 	}
+	s.Truncated = s.PctSamples < s.Packets
 	return s
 }
 

@@ -112,6 +112,7 @@ func BuildWCMesh(p Params) *fabric.Network {
 			wireless.LinkOpts{
 				Name:        fmt.Sprintf("wc-%d-%d", sa, sb),
 				ChannelID:   linkIdx,
+				ClassLabel:  "grid",
 				EPBpJ:       epb,
 				SerializeCy: serialize,
 				PropCy:      1,

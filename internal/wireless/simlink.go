@@ -21,6 +21,10 @@ type LinkOpts struct {
 	// ChannelID indexes the power meter's per-channel accounting (the
 	// paper's Figure 5 reports per-channel wireless link power).
 	ChannelID int
+	// ClassLabel names the link-distance class for energy attribution
+	// ("C2C", "E2E", "SR", or a builder label like "grid"); empty
+	// channels report as "unclassified".
+	ClassLabel string
 	// EPBpJ is the transmit energy per bit (already LD-scaled).
 	EPBpJ float64
 	// SerializeCy is the per-flit air time, from the band's data rate.
@@ -53,6 +57,7 @@ func BuildP2P(n *fabric.Network, tx, rx Endpoint, o LinkOpts) *sbus.Channel {
 	ch.Kind = "wireless"
 	meter := n.Meter
 	id, epb := o.ChannelID, o.EPBpJ
+	meter.SetChannelClass(id, o.ClassLabel)
 	ch.OnTransmit = func(f *noc.Flit, _ int) { meter.Wireless(id, epb) }
 	w := ch.AddWriter(tx.Router, tx.Port, o.NumVCs, o.txDepth())
 	tx.Router.ConnectOutput(tx.Port, w, o.txDepth(), 1)
@@ -74,6 +79,7 @@ func BuildSWMR(n *fabric.Network, txs, rxs []Endpoint, selectRx func(p *noc.Pack
 	ch.Kind = "wireless"
 	meter := n.Meter
 	id, epb := o.ChannelID, o.EPBpJ
+	meter.SetChannelClass(id, o.ClassLabel)
 	discards := len(rxs) - 1
 	ch.OnTransmit = func(f *noc.Flit, _ int) {
 		meter.Wireless(id, epb)
