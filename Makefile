@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet build lint test race smoke ci
+.PHONY: all fmt vet build lint lint-fixtures test race smoke ci
 
 all: ci
 
@@ -21,6 +21,11 @@ build:
 # lint runs ownsim's custom static-analysis suite (see internal/lint).
 lint:
 	$(GO) run ./cmd/ownlint ./...
+
+# lint-fixtures runs the analyzer regression tests (golden fixtures,
+# seeded violations, broken-package loader) under the race detector.
+lint-fixtures:
+	$(GO) test -race -count=1 ./internal/lint/...
 
 test:
 	$(GO) test ./...

@@ -79,7 +79,7 @@ func BenchmarkTableIVConfigurationPlans(b *testing.B) {
 func BenchmarkFig3LinkBudget(b *testing.B) {
 	lb := rf.DefaultLinkBudget()
 	for i := 0; i < b.N; i++ {
-		pts := rf.Figure3(lb, []float64{0, 5, 10})
+		pts := rf.Figure3(lb, []rf.Decibels{0, 5, 10})
 		if len(pts) != 30 {
 			b.Fatal("bad sweep")
 		}

@@ -78,7 +78,7 @@ func writeCSV(name string, lines []string) {
 func figure3(core.Budget) {
 	header("Figure 3 — OOK link budget @ 32 Gb/s, 90 GHz")
 	lb := rf.DefaultLinkBudget()
-	pts := rf.Figure3(lb, []float64{0, 5, 10})
+	pts := rf.Figure3(lb, []rf.Decibels{0, 5, 10})
 	lines := []string{"dist_mm,directivity_dbi,required_dbm"}
 	fmt.Printf("%-9s %-12s %-12s\n", "dist(mm)", "directivity", "required dBm")
 	for _, p := range pts {

@@ -67,7 +67,7 @@ func main() {
 		res := n.RunTrace(tr, 5, fabric.TrafficSpec{Policy: sys.Policy, Classify: sys.Classify}, *budget)
 		epkt := 0.0
 		if res.Packets > 0 {
-			epkt = res.Power.TotalMW() * float64(n.Eng.Cycle()) * 0.5 / float64(res.Packets)
+			epkt = float64(res.Power.TotalMW()) * float64(n.Eng.Cycle()) * 0.5 / float64(res.Packets)
 		}
 		fmt.Printf("%-8s %-10v %-9d %-10.1f %-12d %-12.0f\n",
 			name, res.Drained, n.Eng.Cycle(), res.AvgLatency, res.MaxLatency, epkt)

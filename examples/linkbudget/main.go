@@ -17,13 +17,13 @@ func main() {
 
 	fmt.Println("required TX power (dBm), 32 Gb/s OOK at 90 GHz:")
 	fmt.Printf("%8s", "dist mm")
-	for _, g := range []float64{0, 5, 10} {
+	for _, g := range []rf.Decibels{0, 5, 10} {
 		fmt.Printf("  %5.0f dBi", g)
 	}
 	fmt.Println()
 	for d := 10.0; d <= 60; d += 10 {
 		fmt.Printf("%8.0f", d)
-		for _, g := range []float64{0, 5, 10} {
+		for _, g := range []rf.Decibels{0, 5, 10} {
 			fmt.Printf("  %9.2f", lb.RequiredTxDBm(d, 90, 32, g))
 		}
 		fmt.Println()
@@ -37,7 +37,7 @@ func main() {
 
 	fmt.Println("\ndoes the chain close each OWN-256 link class?")
 	for _, class := range []wireless.DistClass{wireless.SR, wireless.E2E, wireless.C2C} {
-		for _, dir := range []float64{0, 5} {
+		for _, dir := range []rf.Decibels{0, 5} {
 			ok := tr.LinkCloses(class.NominalMM(), dir, lb)
 			fmt.Printf("  %-4s %2.0f mm, %2.0f dBi: closes=%v\n", class, class.NominalMM(), dir, ok)
 		}

@@ -49,7 +49,7 @@ func main() {
 			fabric.RunSpec{Warmup: 1000, Measure: 5000},
 		)
 		if name == "own" {
-			own4 = res.Power.TotalMW()
+			own4 = float64(res.Power.TotalMW())
 		}
 		fmt.Printf("  %-8s %s\n", name, res.Power)
 	}

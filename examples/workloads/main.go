@@ -31,7 +31,7 @@ func main() {
 			res := n.RunTrace(w.trace, 5, fabric.TrafficSpec{Policy: sys.Policy, Classify: sys.Classify}, 100000)
 			fmt.Printf("  %-7s completed=%v in %6d cycles  avgLat=%6.1f  energy/pkt=%5.0f pJ\n",
 				sysName, res.Drained, n.Eng.Cycle(), res.AvgLatency,
-				res.Power.TotalMW()*float64(n.Eng.Cycle())*0.5/float64(res.Packets))
+				float64(res.Power.TotalMW())*float64(n.Eng.Cycle())*0.5/float64(res.Packets))
 		}
 		fmt.Println()
 	}

@@ -223,5 +223,5 @@ func EnergyPerPacketPJ(res fabric.Result, cores int) float64 {
 	}
 	pktsPerCycle := res.Throughput * float64(cores) / float64(topology.PktFlits)
 	pktsPerNS := pktsPerCycle * topology.ClockGHz
-	return res.Power.TotalMW() / pktsPerNS
+	return float64(res.Power.TotalMW()) / pktsPerNS
 }

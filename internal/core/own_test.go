@@ -137,8 +137,8 @@ func TestOWN256ConfigsChangeOnlyWirelessPower(t *testing.T) {
 			fabric.TrafficSpec{Pattern: traffic.Uniform, Rate: 0.004, Seed: 17, Policy: OWN256Policy},
 			fabric.RunSpec{Warmup: 500, Measure: 2000},
 		)
-		w[i] = res.Power.WirelessMW
-		photonic[i] = res.Power.PhotonicMW
+		w[i] = float64(res.Power.WirelessMW)
+		photonic[i] = float64(res.Power.PhotonicMW)
 	}
 	if !(w[0] > w[1]*1.5) {
 		t.Fatalf("config1 wireless power %v should far exceed config4 %v (paper Fig. 5)", w[0], w[1])

@@ -252,7 +252,7 @@ func (n *Network) Run(ts TrafficSpec, rs RunSpec) Result {
 	}
 	if n.Meter != nil {
 		res.Power = n.Meter.Report(n.Eng.Cycle())
-		res.AvgWirelessChannelMW = n.Meter.WirelessAvgChannelMW(n.Eng.Cycle())
+		res.AvgWirelessChannelMW = float64(n.Meter.WirelessAvgChannelMW(n.Eng.Cycle()))
 	}
 	return res
 }
@@ -298,7 +298,7 @@ func (n *Network) RunTrace(tr *traffic.Trace, pktFlits int, ts TrafficSpec, budg
 	res := Result{Summary: col.Summary(), Drained: drained}
 	if n.Meter != nil {
 		res.Power = n.Meter.Report(n.Eng.Cycle())
-		res.AvgWirelessChannelMW = n.Meter.WirelessAvgChannelMW(n.Eng.Cycle())
+		res.AvgWirelessChannelMW = float64(n.Meter.WirelessAvgChannelMW(n.Eng.Cycle()))
 	}
 	return res
 }

@@ -119,18 +119,18 @@ func (n *Network) registerMetrics(p *probe.Probe) {
 	// set is fixed here because channel class labels are complete once
 	// the topology is built.
 	if m := n.Meter; m != nil {
-		reg.Gauge("energy.buf_write_pj", func() float64 { return m.BufWritePJ })
-		reg.Gauge("energy.buf_read_pj", func() float64 { return m.BufReadPJ })
-		reg.Gauge("energy.xbar_pj", func() float64 { return m.XbarPJ })
-		reg.Gauge("energy.arb_pj", func() float64 { return m.ArbPJ })
-		reg.Gauge("energy.elec_link_pj", func() float64 { return m.ElecLinkPJ })
-		reg.Gauge("energy.photonic_pj", func() float64 { return m.PhotonicPJ })
-		reg.Gauge("energy.wireless_tx_pj", func() float64 { return m.WirelessPJ })
-		reg.Gauge("energy.wireless_rx_pj", func() float64 { return m.WirelessRxPJ })
+		reg.Gauge("energy.buf_write_pj", func() float64 { return float64(m.BufWritePJ) })
+		reg.Gauge("energy.buf_read_pj", func() float64 { return float64(m.BufReadPJ) })
+		reg.Gauge("energy.xbar_pj", func() float64 { return float64(m.XbarPJ) })
+		reg.Gauge("energy.arb_pj", func() float64 { return float64(m.ArbPJ) })
+		reg.Gauge("energy.elec_link_pj", func() float64 { return float64(m.ElecLinkPJ) })
+		reg.Gauge("energy.photonic_pj", func() float64 { return float64(m.PhotonicPJ) })
+		reg.Gauge("energy.wireless_tx_pj", func() float64 { return float64(m.WirelessPJ) })
+		reg.Gauge("energy.wireless_rx_pj", func() float64 { return float64(m.WirelessRxPJ) })
 		for _, class := range m.WirelessClasses() {
 			class := class
 			reg.Gauge("energy.wireless."+class+"_pj", func() float64 {
-				return m.WirelessClassPJ(class)
+				return float64(m.WirelessClassPJ(class))
 			})
 		}
 	}

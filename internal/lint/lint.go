@@ -13,6 +13,19 @@
 //     contextual message
 //   - floatcmp: no ==/!= between floating-point expressions (use the
 //     tolerance helpers in internal/stats)
+//   - unitdim: no additions/comparisons across incompatible physical
+//     unit dimensions (pJ vs mW, dBm vs dB, ...) inferred from naming
+//     conventions and the named unit types in internal/power and
+//     internal/rf; dimensioned products must go through a conversion
+//     helper
+//   - lockguard: fields commented "guarded by <mu>" are only touched by
+//     functions that lock that mutex (or are *Locked helpers)
+//   - errcheck-own: no dropped error returns from the artifact-writer
+//     packages (probe, obs, plot, report) — a dropped write error is a
+//     silently truncated CSV/NDJSON/SVG
+//   - hookpure: probe hook closures stay allocation-free, never call
+//     time/math⁄rand/os, and never mutate captured state, preserving
+//     the probe-inertness guarantee
 //
 // A finding can be suppressed with a directive on the same line or the
 // line immediately above:
@@ -47,6 +60,11 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// TypeErrors are the package's type-check errors as positioned
+	// diagnostics (analyzer "typecheck"); a package that fails to
+	// type-check is still presented to analyzers with partial Info.
+	TypeErrors []Diagnostic
 }
 
 // Diagnostic is one finding at a source position.
@@ -81,7 +99,21 @@ func All() []*Analyzer {
 		MapOrderAnalyzer(),
 		PanicStyleAnalyzer(),
 		FloatCmpAnalyzer(),
+		UnitDimAnalyzer(),
+		LockGuardAnalyzer(),
+		ErrCheckOwnAnalyzer(),
+		HookPureAnalyzer(),
 	}
+}
+
+// knownAnalyzerNames returns every name an ignore directive may target:
+// the full registered suite plus the framework's own pseudo-analyzers.
+func knownAnalyzerNames() map[string]bool {
+	known := map[string]bool{"lint": true, "typecheck": true}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	return known
 }
 
 // DeterministicPackages lists the module-relative package paths whose
@@ -114,6 +146,7 @@ func inScope(relPath string, scopes []string) bool {
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, p := range pkgs {
+		diags = append(diags, p.TypeErrors...)
 		ignores, malformed := collectIgnores(p)
 		diags = append(diags, malformed...)
 		for _, a := range analyzers {
@@ -173,10 +206,13 @@ func (s ignoreSet) covers(analyzer string, pos token.Position) bool {
 const ignorePrefix = "lint:ignore"
 
 // collectIgnores parses //lint:ignore directives from every file of the
-// package. Malformed directives (no analyzer name or no reason) are
-// returned as diagnostics so they cannot silently suppress anything.
+// package. Malformed directives (no analyzer name or no reason) and
+// directives naming an analyzer that is not registered (a typo'd
+// suppression would otherwise silently stop suppressing anything) are
+// returned as diagnostics.
 func collectIgnores(p *Package) (ignoreSet, []Diagnostic) {
 	set := ignoreSet{}
+	known := knownAnalyzerNames()
 	var malformed []Diagnostic
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
@@ -192,6 +228,14 @@ func collectIgnores(p *Package) (ignoreSet, []Diagnostic) {
 						Pos:      position,
 						Analyzer: "lint",
 						Message:  "malformed lint:ignore directive: want //lint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				if !known[fields[0]] {
+					malformed = append(malformed, Diagnostic{
+						Pos:      position,
+						Analyzer: "lint",
+						Message:  fmt.Sprintf("lint:ignore names unknown analyzer %q (registered: see ownlint -list); the directive suppresses nothing", fields[0]),
 					})
 					continue
 				}

@@ -58,6 +58,7 @@ var expectedViolations = map[string][]struct{ file, marker string }{
 		{"internal/sim/determinism.go", "return time.Since(start)"},
 		{"internal/sim/determinism.go", "rand.Intn(10)"},
 		{"internal/sim/determinism.go", `os.Getenv("OWNSIM_MODE")`},
+		{"internal/fabric/hooks.go", "time.Now()"},
 	},
 	"maporder": {
 		{"internal/sim/maporder.go", "for k := range m {"},
@@ -73,6 +74,26 @@ var expectedViolations = map[string][]struct{ file, marker string }{
 		{"internal/power/floats.go", "return a == b"},
 		{"internal/power/floats.go", "return x != 0"},
 		{"internal/power/floats.go", "return a == b"},
+	},
+	"unitdim": {
+		{"internal/power/units.go", "bad := energyPJ + powerMW"},
+		{"internal/power/units.go", "energyPJ * spanNS"},
+		{"internal/power/units.go", "energyPJ > powerMW"},
+		{"internal/power/units.go", "e + Picojoules(p)"},
+		{"internal/power/units.go", "txDBm + rxDBm"},
+	},
+	"lockguard": {
+		{"internal/obs/locks.go", "t.cycle * 2"},
+	},
+	"errcheck-own": {
+		{"internal/obs/writers.go", "f.WriteString(data)"},
+		{"internal/obs/writers.go", "_ = f.Close()"},
+		{"cmd/tool/main.go", "obs.Dump("},
+	},
+	"hookpure": {
+		{"internal/fabric/hooks.go", "make([]int, 0, 4)"},
+		{"internal/fabric/hooks.go", "s.count++"},
+		{"internal/fabric/hooks.go", "time.Now()"},
 	},
 }
 
@@ -187,11 +208,62 @@ func TestMalformedIgnoreReported(t *testing.T) {
 
 // TestScopeExemptions asserts the scoped analyzers stay out of cmd/:
 // the fixture command calls time.Now and panics without a prefix.
+// errcheck-own is the one deliberate exception — it follows
+// writer-package callees out of scope so cmd/ tools cannot discard a
+// writer's verdict.
 func TestScopeExemptions(t *testing.T) {
 	for _, d := range Run(loadFixtures(t), All()) {
-		if strings.HasPrefix(d.Pos.Filename, "cmd/") {
+		if strings.HasPrefix(d.Pos.Filename, "cmd/") && d.Analyzer != "errcheck-own" {
 			t.Errorf("diagnostic in out-of-scope package: %v", d)
 		}
+	}
+}
+
+// TestUnknownIgnoreAnalyzerReported asserts a directive naming an
+// unregistered analyzer is itself a finding: a typo'd suppression must
+// not silently suppress nothing.
+func TestUnknownIgnoreAnalyzerReported(t *testing.T) {
+	diags := Run(loadFixtures(t), All())
+	found := false
+	for _, d := range diags {
+		if d.Analyzer == "lint" && strings.Contains(d.Message, `unknown analyzer "unitdims"`) {
+			found = true
+			if d.Pos.Filename != "internal/power/units.go" || d.Pos.Line == 0 {
+				t.Errorf("unknown-analyzer finding has wrong position: %v", d)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("typo'd lint:ignore directive (unitdims) was not reported:\n%s", render(diags))
+	}
+}
+
+// TestTypeErrorReported loads the deliberately broken fixture module:
+// the type error must surface as a positioned "typecheck" diagnostic and
+// analyzers must still run over the partial type information.
+func TestTypeErrorReported(t *testing.T) {
+	pkgs, err := LoadTree(filepath.Join("testdata", "broken"))
+	if err != nil {
+		t.Fatalf("LoadTree on a broken package must not hard-fail: %v", err)
+	}
+	diags := Run(pkgs, All())
+	var typecheck, floatcmp bool
+	for _, d := range diags {
+		if d.Analyzer == "typecheck" {
+			typecheck = true
+			if d.Pos.Filename != "bad.go" || d.Pos.Line == 0 {
+				t.Errorf("typecheck diagnostic lacks a usable position: %v", d)
+			}
+		}
+		if d.Analyzer == "floatcmp" {
+			floatcmp = true
+		}
+	}
+	if !typecheck {
+		t.Errorf("type error was not reported:\n%s", render(diags))
+	}
+	if !floatcmp {
+		t.Errorf("analyzers did not run over the partially typed package:\n%s", render(diags))
 	}
 }
 

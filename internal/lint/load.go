@@ -186,19 +186,42 @@ func (l *loader) load(path string) (*Package, error) {
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 		Implicits:  map[ast.Node]types.Object{},
 	}
-	conf := types.Config{Importer: l}
+	// Type errors are collected as positioned diagnostics instead of
+	// aborting the load: a broken package must surface as an ownlint
+	// finding ("typecheck"), never as a panic or a silently skipped
+	// package whose invariants then go unchecked. The checker keeps
+	// going after an error, so analyzers still see the well-typed parts
+	// (they tolerate missing types.Info entries).
+	var typeErrs []Diagnostic
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			te, ok := err.(types.Error)
+			if !ok {
+				return
+			}
+			typeErrs = append(typeErrs, Diagnostic{
+				Pos:      te.Fset.Position(te.Pos),
+				Analyzer: "typecheck",
+				Message:  te.Msg,
+			})
+		},
+	}
 	tpkg, err := conf.Check(path, l.fset, files, info)
-	if err != nil {
+	if err != nil && len(typeErrs) == 0 {
+		// Errors that never reached the handler (importer failures,
+		// cycles) are hard loader errors.
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
 	}
 	p := &Package{
-		Path:    path,
-		RelPath: rel,
-		Name:    tpkg.Name(),
-		Fset:    l.fset,
-		Files:   files,
-		Types:   tpkg,
-		Info:    info,
+		Path:       path,
+		RelPath:    rel,
+		Name:       tpkg.Name(),
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		TypeErrors: typeErrs,
 	}
 	l.cache[path] = p
 	return p, nil

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockGuardAnalyzer enforces documented mutex discipline. A struct field
+// can opt in with a comment:
+//
+//	mu sync.Mutex
+//	// guarded by mu
+//	cycle uint64
+//
+// Every read or write of an opted-in field must then happen inside a
+// function that (a) calls <mu>.Lock() or <mu>.RLock() somewhere in its
+// body, or (b) is named with a Locked suffix, the repo convention for
+// "caller already holds the lock" helpers (obs.writePrometheusLocked).
+// Struct-literal keys (Server{cycle: 0}) are construction, not shared
+// access, and are exempt.
+//
+// The check is deliberately coarse — holding is per function, not per
+// path — but that is exactly the granularity the telemetry plane uses:
+// obs.Server methods take the lock first thing or delegate to a *Locked
+// helper, and anything subtler should be restructured, not waved past.
+func LockGuardAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "lockguard",
+		Doc:  `restrict fields commented "guarded by <mu>" to functions that hold that mutex`,
+		Run: func(p *Package, report Reporter) {
+			guarded := collectGuardedFields(p)
+			if len(guarded) == 0 {
+				return
+			}
+			for _, f := range p.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					if strings.HasSuffix(fd.Name.Name, "Locked") {
+						continue
+					}
+					held := heldMutexes(fd.Body)
+					checkGuardedAccess(p, fd, guarded, held, report)
+				}
+			}
+		},
+	}
+}
+
+// collectGuardedFields maps each field object carrying a
+// "guarded by <mu>" comment to the name of its guarding mutex.
+func collectGuardedFields(p *Package) map[types.Object]string {
+	guarded := map[types.Object]string{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				mu := guardDirective(fld)
+				if mu == "" {
+					continue
+				}
+				for _, name := range fld.Names {
+					if obj := p.Info.Defs[name]; obj != nil {
+						guarded[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// guardDirective extracts the mutex name from a field's doc or trailing
+// comment, e.g. "// guarded by mu." -> "mu".
+func guardDirective(fld *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			rest, ok := strings.CutPrefix(text, "guarded by ")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				continue
+			}
+			return strings.TrimRight(fields[0], ".,;")
+		}
+	}
+	return ""
+}
+
+// heldMutexes returns the names of every mutex the function body locks
+// (via .Lock() or .RLock()) at some point.
+func heldMutexes(body *ast.BlockStmt) map[string]bool {
+	held := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch x := sel.X.(type) {
+		case *ast.Ident:
+			held[x.Name] = true
+		case *ast.SelectorExpr:
+			held[x.Sel.Name] = true
+		}
+		return true
+	})
+	return held
+}
+
+// checkGuardedAccess reports every use of a guarded field inside fd that
+// is not covered by a held mutex. Composite-literal keys are skipped.
+func checkGuardedAccess(p *Package, fd *ast.FuncDecl, guarded map[types.Object]string, held map[string]bool, report Reporter) {
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if kv, ok := n.(*ast.KeyValueExpr); ok {
+			if _, isIdent := kv.Key.(*ast.Ident); isIdent {
+				ast.Inspect(kv.Value, visit)
+				return false
+			}
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		mu, ok := guarded[obj]
+		if !ok || held[mu] {
+			return true
+		}
+		report(id.Pos(), "field %s is guarded by %s but %s accesses it without locking; take %s.Lock() or rename the helper with a Locked suffix", id.Name, mu, fd.Name.Name, mu)
+		return true
+	}
+	ast.Inspect(fd.Body, visit)
+}

@@ -1,0 +1,16 @@
+// Package bad deliberately fails to type-check: the loader must surface
+// the error as a positioned "typecheck" diagnostic, not a panic or a
+// silently skipped package.
+package bad
+
+// Mismatch assigns an int to a string.
+func Mismatch() string {
+	var s string = 42
+	return s
+}
+
+// StillChecked carries a violation the analyzers must still see despite
+// the type error above: partial type information is enough.
+func StillChecked(a, b float64) bool {
+	return a == b
+}

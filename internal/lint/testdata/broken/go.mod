@@ -1,0 +1,3 @@
+module brokensim
+
+go 1.22

@@ -1,0 +1,42 @@
+// Probe-hook fixture for the hookpure analyzer: closures assigned to
+// fabric's On* probe points must stay pure.
+package fabric
+
+import "time"
+
+type probePoint struct {
+	OnEnqueue func(id int)
+	OnDrop    func(id int)
+	OnTick    func()
+}
+
+type dropStats struct {
+	count int
+}
+
+func installImpure(p *probePoint, s *dropStats) {
+	p.OnEnqueue = func(id int) {
+		seen := make([]int, 0, 4) // seeded: allocation on the event hot path
+		_ = seen
+	}
+	p.OnDrop = func(id int) {
+		s.count++ // seeded: mutation of captured shared state
+	}
+	p.OnTick = func() {
+		_ = time.Now() // seeded: clock read (hookpure and determinism)
+	}
+}
+
+func installPure(p *probePoint, s *dropStats) {
+	p.OnEnqueue = func(id int) {
+		n := id * 2 // locals are fine: must not be flagged
+		_ = n
+	}
+	p.OnDrop = func(id int) {
+		//lint:ignore hookpure fixture: counter drained single-threaded after the run
+		s.count++
+	}
+}
+
+var _ = installImpure
+var _ = installPure

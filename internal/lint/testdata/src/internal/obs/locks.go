@@ -1,0 +1,48 @@
+// Package obs is a lint fixture mirroring ownsim/internal/obs: the
+// lockguard and errcheck-own analyzers are in scope here.
+package obs
+
+import "sync"
+
+// telemetry mirrors the real obs.Server: mu guards the mutable state.
+type telemetry struct {
+	mu sync.Mutex
+	// guarded by mu
+	cycle int
+	// guarded by mu
+	line string
+}
+
+// Snapshot takes the lock before touching guarded state: must not be
+// flagged.
+func (t *telemetry) Snapshot() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cycle
+}
+
+// Race reads guarded state without the lock.
+func (t *telemetry) Race() int {
+	return t.cycle * 2 // seeded: cycle read outside mu
+}
+
+// renderLocked follows the caller-holds-the-lock naming convention:
+// must not be flagged.
+func (t *telemetry) renderLocked() string {
+	return t.line
+}
+
+// Boot demonstrates the reasoned escape hatch.
+func (t *telemetry) Boot() {
+	//lint:ignore lockguard fixture: single-writer startup, server not yet published
+	t.line = "boot"
+}
+
+// newTelemetry constructs via composite-literal keys, which are not
+// accesses: must not be flagged.
+func newTelemetry() *telemetry {
+	return &telemetry{cycle: 1}
+}
+
+var _ = newTelemetry
+var _ = (*telemetry).renderLocked

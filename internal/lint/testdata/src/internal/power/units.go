@@ -1,0 +1,48 @@
+// Unit-dimension fixture for the unitdim analyzer, mirroring the named
+// unit types of the real internal/power package.
+package power
+
+// Picojoules is dynamic energy.
+type Picojoules float64
+
+// Milliwatts is average power.
+type Milliwatts float64
+
+// Mixups seeds the canonical dimension bugs unitdim must catch on bare
+// float64s carrying the naming convention.
+func Mixups(energyPJ, powerMW, spanNS float64) float64 {
+	bad := energyPJ + powerMW // seeded: pJ added to mW
+	heat := energyPJ * spanNS // seeded: product without a conversion helper
+	if energyPJ > powerMW {   // seeded: pJ compared against mW
+		bad++
+	}
+	//lint:ignore unitdim fixture demonstrating the reasoned escape hatch
+	calib := energyPJ + powerMW
+	return bad + heat + calib
+}
+
+// Cast seeds a cross-dimension conversion cast on the named types.
+func Cast(e Picojoules, p Milliwatts) Picojoules {
+	return e + Picojoules(p) // seeded: mW cast straight to pJ
+}
+
+// Combine seeds the logarithmic-domain bug: absolute dBm levels do not
+// add.
+func Combine(txDBm, rxDBm float64) float64 {
+	return txDBm + rxDBm // seeded: dBm + dBm
+}
+
+// Legal arithmetic stays silent: same dimension, the dB algebra, and
+// dimension-erasing float64 conversions.
+func Legal(aPJ, bPJ, gainDB, lvlDBm float64) float64 {
+	sum := aPJ + bPJ
+	shifted := lvlDBm + gainDB
+	ratio := aPJ / bPJ
+	avg := float64(Picojoules(sum)) / float64(spanDefault)
+	return sum + shifted + ratio + avg
+}
+
+const spanDefault = 100.0
+
+//lint:ignore unitdims typo'd analyzer name: reported, suppresses nothing
+var zero = 0.0

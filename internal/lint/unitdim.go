@@ -1,0 +1,294 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+)
+
+// UnitDimAnalyzer infers physical dimensions for expressions and rejects
+// arithmetic that silently mixes units. The paper's headline numbers are
+// all dimensioned quantities — picojoule accumulators, milliwatt reports,
+// dB link budgets, GHz channel rates — and before internal/power and
+// internal/rf grew named unit types they flowed through the code as bare
+// float64s, where `energyPJ + powerMW` compiles without complaint.
+//
+// A dimension is inferred with this precedence:
+//
+//  1. the static type, when it is one of the named unit types
+//     (power.Picojoules -> pJ, rf.DBm -> dBm, ...)
+//  2. compile-time constants are dimensionless (literals in converters)
+//  3. the identifier/selector/callee naming convention: a CamelCase unit
+//     suffix such as ...PJ, ...MW, ...NS, ...GHz, ...Gbps, ...Cycles,
+//     ...MM, ...DB/...dB, ...DBm/...dBm, ...DBi/...dBi
+//
+// Names containing "Per" (EElecPJPerBitMM) and names starting with
+// "From" (dsp.FromDB) denote compound or converting quantities and stay
+// unknown. Conversions to a plain basic type (float64(x)) deliberately
+// erase the dimension — that is how the sanctioned converter methods in
+// internal/power and internal/rf are implemented.
+//
+// Flagged:
+//   - x + y, x - y when both dimensions are known and incompatible
+//     (the dB algebra is encoded: dBm +/- dB is legal, dBm - dBm is a
+//     legal gain, dBm + dBm is flagged even though the dims match)
+//   - comparisons across two different known dimensions
+//   - x * y, x / y when both dimensions are known and different: a
+//     dimensioned product must go through a conversion helper (OverNS,
+//     TimesNS, ToMW) that states the physics once
+//   - Unit(x) conversion casts where x already carries a different
+//     known dimension (Picojoules(someMW))
+func UnitDimAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "unitdim",
+		Doc:  "forbid arithmetic and comparisons across incompatible physical unit dimensions",
+		Run: func(p *Package, report Reporter) {
+			if !inScope(p.RelPath, []string{"internal"}) {
+				return
+			}
+			u := &unitDim{p: p}
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch x := n.(type) {
+					case *ast.BinaryExpr:
+						u.checkBinary(x.OpPos, x.Op, x.X, x.Y, report)
+					case *ast.AssignStmt:
+						if op, ok := compoundOp(x.Tok); ok && len(x.Lhs) == 1 && len(x.Rhs) == 1 {
+							u.checkBinary(x.TokPos, op, x.Lhs[0], x.Rhs[0], report)
+						}
+					case *ast.CallExpr:
+						u.checkConversion(x, report)
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// unitTypeDims maps the named unit types of internal/power and
+// internal/rf to their dimension.
+var unitTypeDims = map[string]string{
+	"Picojoules":  "pJ",
+	"Milliwatts":  "mW",
+	"Microwatts":  "uW",
+	"Nanoseconds": "ns",
+	"Decibels":    "dB",
+	"DBm":         "dBm",
+}
+
+// unitSuffixes is the identifier naming convention, longest suffix
+// first so RequiredTxDBm resolves to dBm rather than dB. Antenna
+// directivity (dBi) is a relative gain and shares the dB dimension.
+var unitSuffixes = []struct{ text, dim string }{
+	{"Cycles", "cycles"},
+	{"Gbps", "Gbps"},
+	{"GHz", "GHz"},
+	{"DBm", "dBm"},
+	{"dBm", "dBm"},
+	{"DBi", "dB"},
+	{"dBi", "dB"},
+	{"PJ", "pJ"},
+	{"MW", "mW"},
+	{"UW", "uW"},
+	{"NS", "ns"},
+	{"MM", "mm"},
+	{"DB", "dB"},
+	{"dB", "dB"},
+}
+
+// exactUnitNames resolves short local variables spelled as a bare unit.
+var exactUnitNames = map[string]string{
+	"pj": "pJ", "mw": "mW", "uw": "uW", "ns": "ns", "mm": "mm",
+	"db": "dB", "dbm": "dBm", "dbi": "dB", "ghz": "GHz",
+	"gbps": "Gbps", "cycles": "cycles",
+}
+
+type unitDim struct {
+	p *Package
+}
+
+// compoundOp maps a compound-assignment token to its binary operator.
+func compoundOp(tok token.Token) (token.Token, bool) {
+	switch tok {
+	case token.ADD_ASSIGN:
+		return token.ADD, true
+	case token.SUB_ASSIGN:
+		return token.SUB, true
+	case token.MUL_ASSIGN:
+		return token.MUL, true
+	case token.QUO_ASSIGN:
+		return token.QUO, true
+	}
+	return token.ILLEGAL, false
+}
+
+func (u *unitDim) checkBinary(pos token.Pos, op token.Token, x, y ast.Expr, report Reporter) {
+	dx, dy := u.dimOf(x), u.dimOf(y)
+	if dx == "" || dy == "" {
+		return
+	}
+	switch op {
+	case token.ADD:
+		if dx == "dBm" && dy == "dBm" {
+			report(pos, "adding two absolute dBm power levels; combine in the linear domain (ToMW) or shift one side by a relative dB gain")
+			return
+		}
+		if dx == dy || dbPair(dx, dy) {
+			return
+		}
+		report(pos, "adding %s to %s: incompatible unit dimensions; convert explicitly first", dx, dy)
+	case token.SUB:
+		if dx == dy || dbPair(dx, dy) {
+			return
+		}
+		report(pos, "subtracting %s from %s: incompatible unit dimensions; convert explicitly first", dy, dx)
+	case token.MUL:
+		if dx != dy {
+			report(pos, "multiplying %s by %s: dimensioned products must go through a conversion helper (OverNS, TimesNS, ToMW)", dx, dy)
+		}
+	case token.QUO:
+		if dx != dy {
+			report(pos, "dividing %s by %s: dimensioned quotients must go through a conversion helper (OverNS, TimesNS, ToMW)", dx, dy)
+		}
+	case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		if dx != dy {
+			report(pos, "comparing %s against %s: incompatible unit dimensions", dx, dy)
+		}
+	}
+}
+
+// checkConversion flags Unit(x) casts where x already carries a
+// different known dimension; crossing dimensions must go through a
+// converter method that states the physics.
+func (u *unitDim) checkConversion(call *ast.CallExpr, report Reporter) {
+	if len(call.Args) != 1 {
+		return
+	}
+	ftv, ok := u.p.Info.Types[call.Fun]
+	if !ok || !ftv.IsType() {
+		return
+	}
+	target := dimOfType(ftv.Type)
+	if target == "" {
+		return
+	}
+	arg := u.dimOf(call.Args[0])
+	if arg != "" && arg != target {
+		report(call.Pos(), "converting a %s value directly to %s: use a conversion helper (OverNS, TimesNS, ToMW) instead of a cast", arg, target)
+	}
+}
+
+// dimOf infers the dimension of an expression, or "" when unknown.
+func (u *unitDim) dimOf(e ast.Expr) string {
+	e = unparen(e)
+	tv, ok := u.p.Info.Types[e]
+	if ok && tv.Value != nil {
+		return "" // compile-time constants are dimensionless
+	}
+	if ok {
+		if d := dimOfType(tv.Type); d != "" {
+			return d
+		}
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		return nameDim(x.Name)
+	case *ast.SelectorExpr:
+		return nameDim(x.Sel.Name)
+	case *ast.IndexExpr:
+		return u.dimOf(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.ADD || x.Op == token.SUB {
+			return u.dimOf(x.X)
+		}
+	case *ast.CallExpr:
+		if ftv, ok := u.p.Info.Types[x.Fun]; ok && ftv.IsType() {
+			// A conversion: named unit types carry their dimension,
+			// casts to plain basic types erase it (the converter
+			// idiom: Milliwatts(float64(e) / float64(ns))).
+			return dimOfType(ftv.Type)
+		}
+		switch f := unparen(x.Fun).(type) {
+		case *ast.Ident:
+			return nameDim(f.Name)
+		case *ast.SelectorExpr:
+			return nameDim(f.Sel.Name)
+		}
+	case *ast.BinaryExpr:
+		if x.Op == token.ADD || x.Op == token.SUB {
+			if dx, dy := u.dimOf(x.X), u.dimOf(x.Y); dx == dy {
+				return dx
+			}
+		}
+	}
+	return ""
+}
+
+// dimOfType resolves the named unit types declared in internal/power and
+// internal/rf.
+func dimOfType(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	path := obj.Pkg().Path()
+	if !strings.HasSuffix(path, "/power") && !strings.HasSuffix(path, "/rf") {
+		return ""
+	}
+	return unitTypeDims[obj.Name()]
+}
+
+// nameDim applies the naming convention to one identifier.
+func nameDim(name string) string {
+	if name == "" || strings.Contains(name, "Per") || strings.HasPrefix(name, "From") {
+		return ""
+	}
+	if d, ok := exactUnitNames[strings.ToLower(name)]; ok {
+		return d
+	}
+	for _, s := range unitSuffixes {
+		if !strings.HasSuffix(name, s.text) || len(name) == len(s.text) {
+			continue
+		}
+		prev := rune(name[len(name)-len(s.text)-1])
+		first := rune(s.text[0])
+		// CamelCase word boundary: an uppercase suffix must follow a
+		// lowercase letter or digit (EnergyPJ), a lowercase-led suffix
+		// (dB in FSPLdB) must follow an uppercase letter.
+		if unicode.IsUpper(first) && !unicode.IsLower(prev) && !unicode.IsDigit(prev) {
+			continue
+		}
+		if unicode.IsLower(first) && !unicode.IsUpper(prev) {
+			continue
+		}
+		return s.dim
+	}
+	return ""
+}
+
+// dbPair reports whether the two dimensions are the legal logarithmic
+// pairing of an absolute level with a relative gain.
+func dbPair(a, b string) bool {
+	return (a == "dBm" && b == "dB") || (a == "dB" && b == "dBm")
+}
+
+// unparen strips redundant parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

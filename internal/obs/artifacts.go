@@ -69,17 +69,19 @@ func EmitHeatmaps(n *fabric.Network, prefix string, man *probe.Manifest) ([]stri
 		return written, nil
 	}
 	labels := make([]string, len(m.WirelessChanPJ))
-	for i := range labels {
+	values := make([]float64, len(m.WirelessChanPJ))
+	for i, pj := range m.WirelessChanPJ {
 		class := m.ChannelClass(i)
 		if class == "" {
 			class = "unclassified"
 		}
 		labels[i] = fmt.Sprintf("ch%d/%s", i, class)
+		values[i] = float64(pj)
 	}
 	energy := &plot.Heatmap{
 		Title:  fmt.Sprintf("%s: wireless channel energy (pJ)", n.Name),
 		Labels: labels,
-		Values: m.WirelessChanPJ,
+		Values: values,
 	}
 	buf.Reset()
 	if err := energy.WriteCSV(&buf); err != nil {

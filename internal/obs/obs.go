@@ -18,6 +18,7 @@ package obs
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -28,24 +29,36 @@ import (
 	"ownsim/internal/probe"
 )
 
-// Server serves read-only telemetry snapshots over HTTP.
+// Server serves read-only telemetry snapshots over HTTP. The mutable
+// state below opts into ownlint's lockguard analyzer: every field
+// carrying a "guarded by mu" comment may only be touched by methods that
+// take the lock (or by *Locked helpers whose callers hold it).
 type Server struct {
 	mu sync.Mutex
-	// meta is fixed at Attach time (registration order).
+	// guarded by mu (metric metadata, fixed at Attach time in registration order)
 	meta []probe.MetricInfo
-	// promNames are the sanitized, collision-free Prometheus names,
-	// index-aligned with meta.
+	// guarded by mu (sanitized, collision-free Prometheus names, index-aligned with meta)
 	promNames []string
-	// Latest snapshot.
-	cycle   uint64
-	values  []float64
+	// guarded by mu (latest snapshot cycle)
+	cycle uint64
+	// guarded by mu (latest snapshot values)
+	values []float64
+	// guarded by mu (snapshots published so far)
 	samples uint64
-	done    bool
-	// line is the latest snapshot pre-rendered as one NDJSON line.
-	line    string
-	subs    []subscriber
+	// guarded by mu (simulation finished)
+	done bool
+	// guarded by mu (latest snapshot pre-rendered as one NDJSON line)
+	line string
+	// guarded by mu (connected /events clients)
+	subs []subscriber
+	// guarded by mu (next subscriber id)
 	nextSub int
+	// guarded by mu (samples lost to slow subscribers)
 	dropped uint64
+	// guarded by mu (response writes that failed, i.e. disconnected clients)
+	writeErrs uint64
+	// guarded by mu (unexpected Serve exit, surfaced by Close)
+	serveErr error
 
 	ln  net.Listener
 	srv *http.Server
@@ -125,8 +138,13 @@ func (s *Server) Start(addr string) (string, error) {
 	s.ln = ln
 	s.srv = &http.Server{Handler: mux}
 	go func() {
-		// ErrServerClosed after Close is the normal exit.
-		_ = s.srv.Serve(ln)
+		// ErrServerClosed after Close is the normal exit; anything else
+		// is recorded and surfaced by Close.
+		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.mu.Lock()
+			s.serveErr = err
+			s.mu.Unlock()
+		}
 	}()
 	return ln.Addr().String(), nil
 }
@@ -139,12 +157,28 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the listener and all in-flight handlers.
+// Close stops the listener and all in-flight handlers; it reports any
+// unexpected error the serve loop died with.
 func (s *Server) Close() error {
 	if s.srv == nil {
 		return nil
 	}
-	return s.srv.Close()
+	err := s.srv.Close()
+	s.mu.Lock()
+	if err == nil && s.serveErr != nil {
+		err = s.serveErr
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// noteWriteErr counts a failed response write: a disconnected client is
+// routine for a live telemetry plane, but the failure must not vanish —
+// /healthz reports the tally as write_errors.
+func (s *Server) noteWriteErr() {
+	s.mu.Lock()
+	s.writeErrs++
+	s.mu.Unlock()
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -153,7 +187,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	s.writePrometheusLocked(&b)
 	s.mu.Unlock()
-	_, _ = fmt.Fprint(w, b.String())
+	if _, err := fmt.Fprint(w, b.String()); err != nil {
+		s.noteWriteErr()
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -163,15 +199,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		status = "done"
 	}
 	payload := map[string]any{
-		"status":  status,
-		"cycle":   s.cycle,
-		"samples": s.samples,
-		"metrics": len(s.meta),
-		"dropped": s.dropped,
+		"status":       status,
+		"cycle":        s.cycle,
+		"samples":      s.samples,
+		"metrics":      len(s.meta),
+		"dropped":      s.dropped,
+		"write_errors": s.writeErrs,
 	}
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(payload)
+	if err := json.NewEncoder(w).Encode(payload); err != nil {
+		s.noteWriteErr()
+	}
 }
 
 // handleEvents streams sampler windows as NDJSON: the latest snapshot
@@ -207,6 +246,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 	emit := func(line string) bool {
 		if _, err := fmt.Fprintln(w, line); err != nil {
+			s.noteWriteErr()
 			return false
 		}
 		if fl != nil {

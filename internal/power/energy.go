@@ -81,11 +81,11 @@ func (m *Meter) WirelessClasses() []string {
 
 // WirelessClassPJ sums the per-channel wireless transmit energy of every
 // channel labelled with the given class.
-func (m *Meter) WirelessClassPJ(class string) float64 {
+func (m *Meter) WirelessClassPJ(class string) Picojoules {
 	if m == nil {
 		return 0
 	}
-	sum := 0.0
+	var sum Picojoules
 	for ch, pj := range m.WirelessChanPJ {
 		if m.classOf(ch) == class {
 			sum += pj
@@ -102,11 +102,11 @@ type EnergyRow struct {
 	// Class is the wireless link-distance class for wireless_tx rows
 	// ("C2C", "E2E", "SR", ...) and "-" for class-less components.
 	Class string
-	// EnergyPJ is the attributed energy over the run, picojoules. For
-	// the static row it is leakage+tuning power integrated over the run.
-	EnergyPJ float64
+	// EnergyPJ is the attributed energy over the run. For the static
+	// row it is leakage+tuning power integrated over the run.
+	EnergyPJ Picojoules
 	// AvgPowerMW is EnergyPJ spread over the simulated time.
-	AvgPowerMW float64
+	AvgPowerMW Milliwatts
 	// Share is AvgPowerMW as a fraction of the total.
 	Share float64
 }
@@ -122,19 +122,19 @@ func (m *Meter) EnergyRows(cycles uint64) []EnergyRow {
 	if cycles == 0 {
 		panic("power: energy rows over zero cycles")
 	}
-	ns := float64(cycles) * m.P.CycleNS()
-	staticMW := m.leakMW + float64(m.ringCount)*m.P.PRingTuneUW/1000.0
+	ns := Nanoseconds(float64(cycles) * m.P.CycleNS())
+	staticMW := m.leakMW + Microwatts(float64(m.ringCount)*m.P.PRingTuneUW).ToMW()
 
 	rows := []EnergyRow{
 		{Component: "buffer_write", Class: "-", EnergyPJ: m.BufWritePJ},
 		{Component: "buffer_read", Class: "-", EnergyPJ: m.BufReadPJ},
 		{Component: "crossbar", Class: "-", EnergyPJ: m.XbarPJ},
 		{Component: "arbiter", Class: "-", EnergyPJ: m.ArbPJ},
-		{Component: "static", Class: "-", EnergyPJ: staticMW * ns},
+		{Component: "static", Class: "-", EnergyPJ: staticMW.TimesNS(ns)},
 		{Component: "elec_link", Class: "-", EnergyPJ: m.ElecLinkPJ},
 		{Component: "photonic", Class: "-", EnergyPJ: m.PhotonicPJ},
 	}
-	attributed := 0.0
+	var attributed Picojoules
 	for _, class := range m.WirelessClasses() {
 		pj := m.WirelessClassPJ(class)
 		attributed += pj
@@ -147,14 +147,14 @@ func (m *Meter) EnergyRows(cycles uint64) []EnergyRow {
 	}
 	rows = append(rows, EnergyRow{Component: "wireless_rx_discard", Class: "-", EnergyPJ: m.WirelessRxPJ})
 
-	total := 0.0
+	var total Milliwatts
 	for i := range rows {
-		rows[i].AvgPowerMW = rows[i].EnergyPJ / ns
+		rows[i].AvgPowerMW = rows[i].EnergyPJ.OverNS(ns)
 		total += rows[i].AvgPowerMW
 	}
 	if total > 0 {
 		for i := range rows {
-			rows[i].Share = rows[i].AvgPowerMW / total
+			rows[i].Share = float64(rows[i].AvgPowerMW / total)
 		}
 	}
 	return rows
@@ -178,16 +178,17 @@ func (m *Meter) WriteEnergyCSV(w io.Writer, cycles uint64) error {
 	if err := cw.Write(EnergyCSVHeader); err != nil {
 		return err
 	}
-	var totPJ, totMW float64
+	var totPJ Picojoules
+	var totMW Milliwatts
 	for _, r := range m.EnergyRows(cycles) {
 		totPJ += r.EnergyPJ
 		totMW += r.AvgPowerMW
-		rec := []string{r.Component, r.Class, formatEnergy(r.EnergyPJ), formatEnergy(r.AvgPowerMW), formatEnergy(r.Share)}
+		rec := []string{r.Component, r.Class, formatEnergy(float64(r.EnergyPJ)), formatEnergy(float64(r.AvgPowerMW)), formatEnergy(r.Share)}
 		if err := cw.Write(rec); err != nil {
 			return err
 		}
 	}
-	if err := cw.Write([]string{"total", "-", formatEnergy(totPJ), formatEnergy(totMW), "1"}); err != nil {
+	if err := cw.Write([]string{"total", "-", formatEnergy(float64(totPJ)), formatEnergy(float64(totMW)), "1"}); err != nil {
 		return err
 	}
 	cw.Flush()
@@ -201,7 +202,8 @@ func (m *Meter) EnergyTable(cycles uint64) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "energy attribution over %d cycles:\n", cycles)
 	fmt.Fprintf(&b, "%-20s %-8s %14s %10s %7s\n", "component", "class", "energy (pJ)", "avg mW", "share")
-	var totPJ, totMW float64
+	var totPJ Picojoules
+	var totMW Milliwatts
 	for _, r := range rows {
 		totPJ += r.EnergyPJ
 		totMW += r.AvgPowerMW

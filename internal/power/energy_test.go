@@ -42,7 +42,8 @@ func TestEnergyRowsSumToBreakdown(t *testing.T) {
 	const cycles = 1000
 	rows := m.EnergyRows(cycles)
 
-	var totalMW, wirelessTxPJ float64
+	var totalMW Milliwatts
+	var wirelessTxPJ Picojoules
 	for _, r := range rows {
 		totalMW += r.AvgPowerMW
 		if r.Component == "wireless_tx" {
@@ -50,10 +51,10 @@ func TestEnergyRowsSumToBreakdown(t *testing.T) {
 		}
 	}
 	want := m.Report(cycles).TotalMW()
-	if !stats.ApproxEqual(totalMW, want, 1e-9*want) {
+	if !stats.ApproxEqual(float64(totalMW), float64(want), 1e-9*float64(want)) {
 		t.Fatalf("rows sum to %.12f mW, Breakdown total is %.12f mW", totalMW, want)
 	}
-	if !stats.ApproxEqual(wirelessTxPJ, m.WirelessPJ, 1e-9) {
+	if !stats.ApproxEqual(float64(wirelessTxPJ), float64(m.WirelessPJ), 1e-9) {
 		t.Fatalf("wireless_tx rows sum to %f pJ, meter charged %f pJ", wirelessTxPJ, m.WirelessPJ)
 	}
 
@@ -90,10 +91,10 @@ func TestWirelessClassAttribution(t *testing.T) {
 	m.Wireless(0, 1.0)
 	m.Wireless(2, 1.0)
 	m.Wireless(2, 1.0)
-	if c2c, sr := m.WirelessClassPJ("C2C"), m.WirelessClassPJ("SR"); !stats.ApproxEqual(sr, 2*c2c, 1e-9) {
+	if c2c, sr := m.WirelessClassPJ("C2C"), m.WirelessClassPJ("SR"); !stats.ApproxEqual(float64(sr), float64(2*c2c), 1e-9) {
 		t.Fatalf("SR charged twice as often as C2C but C2C=%f SR=%f", c2c, sr)
 	}
-	if e2e := m.WirelessClassPJ("E2E"); !stats.ApproxZero(e2e, 0) {
+	if e2e := m.WirelessClassPJ("E2E"); !stats.ApproxZero(float64(e2e), 0) {
 		t.Fatalf("idle E2E class charged %f pJ", e2e)
 	}
 

@@ -14,15 +14,15 @@ import (
 type Meter struct {
 	P *Params
 
-	// Dynamic energy accumulators, pJ.
-	BufWritePJ   float64
-	BufReadPJ    float64
-	XbarPJ       float64
-	ArbPJ        float64
-	ElecLinkPJ   float64
-	PhotonicPJ   float64
-	WirelessPJ   float64
-	WirelessRxPJ float64
+	// Dynamic energy accumulators.
+	BufWritePJ   Picojoules
+	BufReadPJ    Picojoules
+	XbarPJ       Picojoules
+	ArbPJ        Picojoules
+	ElecLinkPJ   Picojoules
+	PhotonicPJ   Picojoules
+	WirelessPJ   Picojoules
+	WirelessRxPJ Picojoules
 
 	// Event counters.
 	NBufWrite    uint64
@@ -32,14 +32,14 @@ type Meter struct {
 	NPhotFlit    uint64
 	NWirelessFlt uint64
 
-	// Per-wireless-channel energy, pJ, for Figure 5-style reporting.
-	WirelessChanPJ []float64
+	// Per-wireless-channel energy for Figure 5-style reporting.
+	WirelessChanPJ []Picojoules
 	// chanClass labels channels with their link-distance class for
 	// energy attribution; see SetChannelClass.
 	chanClass []string
 
 	// Static inventory.
-	leakMW    float64
+	leakMW    Milliwatts
 	ringCount int
 }
 
@@ -56,7 +56,7 @@ func (m *Meter) BufWrite() {
 	if m == nil {
 		return
 	}
-	m.BufWritePJ += m.P.EBufWritePJ
+	m.BufWritePJ += Picojoules(m.P.EBufWritePJ)
 	m.NBufWrite++
 }
 
@@ -65,7 +65,7 @@ func (m *Meter) BufRead() {
 	if m == nil {
 		return
 	}
-	m.BufReadPJ += m.P.EBufReadPJ
+	m.BufReadPJ += Picojoules(m.P.EBufReadPJ)
 	m.NBufRead++
 }
 
@@ -74,7 +74,7 @@ func (m *Meter) Xbar(radix int) {
 	if m == nil {
 		return
 	}
-	m.XbarPJ += m.P.XbarPJ(radix)
+	m.XbarPJ += Picojoules(m.P.XbarPJ(radix))
 	m.NXbar++
 }
 
@@ -83,7 +83,7 @@ func (m *Meter) SAArb(radix int) {
 	if m == nil {
 		return
 	}
-	m.ArbPJ += m.P.SAArbPJ(radix)
+	m.ArbPJ += Picojoules(m.P.SAArbPJ(radix))
 }
 
 // VCAArb charges one VC-allocation grant.
@@ -91,7 +91,7 @@ func (m *Meter) VCAArb() {
 	if m == nil {
 		return
 	}
-	m.ArbPJ += m.P.EVCAArbPJ
+	m.ArbPJ += Picojoules(m.P.EVCAArbPJ)
 }
 
 // ElecLink charges an electrical link traversal of one flit over the given
@@ -100,7 +100,7 @@ func (m *Meter) ElecLink(mm float64) {
 	if m == nil {
 		return
 	}
-	m.ElecLinkPJ += m.P.EElecPJPerBitMM * float64(m.P.FlitBits) * mm
+	m.ElecLinkPJ += Picojoules(m.P.EElecPJPerBitMM * float64(m.P.FlitBits) * mm)
 	m.NElecFlit++
 }
 
@@ -109,7 +109,7 @@ func (m *Meter) Photonic() {
 	if m == nil {
 		return
 	}
-	m.PhotonicPJ += m.P.EPhotonicPJPerBit * float64(m.P.FlitBits)
+	m.PhotonicPJ += Picojoules(m.P.EPhotonicPJPerBit * float64(m.P.FlitBits))
 	m.NPhotFlit++
 }
 
@@ -120,7 +120,7 @@ func (m *Meter) Wireless(ch int, epbPJ float64) {
 	if m == nil {
 		return
 	}
-	e := epbPJ * float64(m.P.FlitBits)
+	e := Picojoules(epbPJ * float64(m.P.FlitBits))
 	m.WirelessPJ += e
 	m.NWirelessFlt++
 	if ch >= 0 {
@@ -137,7 +137,7 @@ func (m *Meter) WirelessDiscard() {
 	if m == nil {
 		return
 	}
-	m.WirelessRxPJ += m.P.EWirelessRxDiscardPJPerBit * float64(m.P.FlitBits)
+	m.WirelessRxPJ += Picojoules(m.P.EWirelessRxDiscardPJPerBit * float64(m.P.FlitBits))
 }
 
 // RegisterRouter adds one router's base + crossbar leakage to the static
@@ -147,7 +147,7 @@ func (m *Meter) RegisterRouter(radix, vcs int) {
 		return
 	}
 	_ = vcs
-	m.leakMW += m.P.RouterLeakMW(radix)
+	m.leakMW += Milliwatts(m.P.RouterLeakMW(radix))
 }
 
 // RegisterInputPort adds the leakage of one connected input port's VC
@@ -156,7 +156,7 @@ func (m *Meter) RegisterInputPort(vcs int) {
 	if m == nil {
 		return
 	}
-	m.leakMW += m.P.PLeakPerVCBufMW * float64(vcs)
+	m.leakMW += Milliwatts(m.P.PLeakPerVCBufMW * float64(vcs))
 }
 
 // RegisterRings adds ring resonators to the static inventory (thermal
@@ -171,16 +171,16 @@ func (m *Meter) RegisterRings(n int) {
 // Breakdown is a power report in milliwatts by category, matching the
 // stacking of the paper's Figure 6.
 type Breakdown struct {
-	RouterDynMW    float64 // buffers + crossbar + allocators
-	RouterStaticMW float64 // leakage + ring tuning
-	ElecLinkMW     float64
-	PhotonicMW     float64
-	WirelessMW     float64 // transmit + SWMR discard
+	RouterDynMW    Milliwatts // buffers + crossbar + allocators
+	RouterStaticMW Milliwatts // leakage + ring tuning
+	ElecLinkMW     Milliwatts
+	PhotonicMW     Milliwatts
+	WirelessMW     Milliwatts // transmit + SWMR discard
 	Cycles         uint64
 }
 
 // TotalMW returns the sum of all categories.
-func (b Breakdown) TotalMW() float64 {
+func (b Breakdown) TotalMW() Milliwatts {
 	return b.RouterDynMW + b.RouterStaticMW + b.ElecLinkMW + b.PhotonicMW + b.WirelessMW
 }
 
@@ -198,29 +198,27 @@ func (m *Meter) Report(cycles uint64) Breakdown {
 	if cycles == 0 {
 		panic("power: report over zero cycles")
 	}
-	ns := float64(cycles) * m.P.CycleNS()
-	// 1 pJ / 1 ns == 1 mW.
-	toMW := func(pj float64) float64 { return pj / ns }
+	ns := Nanoseconds(float64(cycles) * m.P.CycleNS())
 	return Breakdown{
-		RouterDynMW:    toMW(m.BufWritePJ + m.BufReadPJ + m.XbarPJ + m.ArbPJ),
-		RouterStaticMW: m.leakMW + float64(m.ringCount)*m.P.PRingTuneUW/1000.0,
-		ElecLinkMW:     toMW(m.ElecLinkPJ),
-		PhotonicMW:     toMW(m.PhotonicPJ),
-		WirelessMW:     toMW(m.WirelessPJ + m.WirelessRxPJ),
+		RouterDynMW:    (m.BufWritePJ + m.BufReadPJ + m.XbarPJ + m.ArbPJ).OverNS(ns),
+		RouterStaticMW: m.leakMW + Microwatts(float64(m.ringCount)*m.P.PRingTuneUW).ToMW(),
+		ElecLinkMW:     m.ElecLinkPJ.OverNS(ns),
+		PhotonicMW:     m.PhotonicPJ.OverNS(ns),
+		WirelessMW:     (m.WirelessPJ + m.WirelessRxPJ).OverNS(ns),
 		Cycles:         cycles,
 	}
 }
 
 // WirelessAvgChannelMW returns the mean per-channel wireless link power
 // over the given cycles, the quantity plotted in the paper's Figure 5.
-func (m *Meter) WirelessAvgChannelMW(cycles uint64) float64 {
+func (m *Meter) WirelessAvgChannelMW(cycles uint64) Milliwatts {
 	if m == nil || len(m.WirelessChanPJ) == 0 || cycles == 0 {
 		return 0
 	}
-	ns := float64(cycles) * m.P.CycleNS()
-	sum := 0.0
+	ns := Nanoseconds(float64(cycles) * m.P.CycleNS())
+	var sum Picojoules
 	for _, pj := range m.WirelessChanPJ {
 		sum += pj
 	}
-	return sum / ns / float64(len(m.WirelessChanPJ))
+	return Milliwatts(float64(sum.OverNS(ns)) / float64(len(m.WirelessChanPJ)))
 }

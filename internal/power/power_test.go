@@ -35,7 +35,7 @@ func TestMeterAccumulation(t *testing.T) {
 		t.Fatalf("counts: %d writes, %d reads", m.NBufWrite, m.NBufRead)
 	}
 	want := 2 * p.EBufWritePJ
-	if math.Abs(m.BufWritePJ-want) > 1e-12 {
+	if math.Abs(float64(m.BufWritePJ)-want) > 1e-12 {
 		t.Fatalf("BufWritePJ = %v, want %v", m.BufWritePJ, want)
 	}
 }
@@ -63,7 +63,7 @@ func TestReportUnits(t *testing.T) {
 	b := m.Report(2000)
 	wantPJ := float64(n) * p.EPhotonicPJPerBit * float64(p.FlitBits)
 	wantMW := wantPJ / 1000.0
-	if math.Abs(b.PhotonicMW-wantMW) > 1e-9 {
+	if math.Abs(float64(b.PhotonicMW)-wantMW) > 1e-9 {
 		t.Fatalf("PhotonicMW = %v, want %v", b.PhotonicMW, wantMW)
 	}
 	if b.Cycles != 2000 {
@@ -89,7 +89,7 @@ func TestStaticPower(t *testing.T) {
 	m.RegisterInputPort(4)
 	b := m.Report(100)
 	want := p.RouterLeakMW(20) + p.RouterLeakMW(8) + 2*4*p.PLeakPerVCBufMW
-	if math.Abs(b.RouterStaticMW-want) > 1e-12 {
+	if math.Abs(float64(b.RouterStaticMW)-want) > 1e-12 {
 		t.Fatalf("static = %v, want %v", b.RouterStaticMW, want)
 	}
 }
@@ -100,7 +100,7 @@ func TestRingTuningKnob(t *testing.T) {
 	m := NewMeter(p)
 	m.RegisterRings(1000) // -> 20 mW
 	b := m.Report(100)
-	if math.Abs(b.RouterStaticMW-20.0) > 1e-9 {
+	if math.Abs(float64(b.RouterStaticMW)-20.0) > 1e-9 {
 		t.Fatalf("ring tuning = %v mW, want 20", b.RouterStaticMW)
 	}
 }

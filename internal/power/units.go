@@ -1,0 +1,52 @@
+package power
+
+// Named unit types for the energy-accounting plane. The repository's
+// headline numbers are physical quantities (picojoule accumulators,
+// milliwatt reports), and before these types existed they flowed through
+// the code as bare float64s — exactly the class of silent unit mix-up
+// (pJ added to mW, energy divided by the wrong time base) that the
+// unitdim analyzer in internal/lint now rejects. The types carry the
+// unit in the type system where Go can enforce it, and the converter
+// methods below are the only sanctioned way to cross dimensions: each
+// one states the physics of the conversion (1 pJ / 1 ns = 1 mW) exactly
+// once. Constructing one unit directly from a value known to carry a
+// different unit (e.g. Picojoules(someMW)) is a unitdim finding.
+//
+// The Params table intentionally stays float64: its fields are
+// calibration constants whose unit is part of the field name
+// (EBufWritePJ, PRingTuneUW), and the per-event charge methods convert
+// into the typed accumulators at the single point of entry.
+
+// Picojoules is dynamic energy, the unit of every Meter accumulator.
+type Picojoules float64
+
+// Milliwatts is average or static power, the unit of every report.
+type Milliwatts float64
+
+// Microwatts is fine-grained static power (per-ring thermal tuning).
+type Microwatts float64
+
+// Nanoseconds is simulated wall time (cycles over the clock).
+type Nanoseconds float64
+
+// OverNS converts energy spread over a time span into average power:
+// 1 pJ over 1 ns is exactly 1 mW.
+func (e Picojoules) OverNS(ns Nanoseconds) Milliwatts {
+	return Milliwatts(float64(e) / float64(ns))
+}
+
+// TimesNS integrates power over a time span back into energy
+// (the inverse of Picojoules.OverNS).
+func (p Milliwatts) TimesNS(ns Nanoseconds) Picojoules {
+	return Picojoules(float64(p) * float64(ns))
+}
+
+// ToMW converts microwatts to milliwatts.
+func (u Microwatts) ToMW() Milliwatts {
+	return Milliwatts(float64(u) / 1000.0)
+}
+
+// ToUW converts milliwatts to microwatts.
+func (p Milliwatts) ToUW() Microwatts {
+	return Microwatts(float64(p) * 1000.0)
+}

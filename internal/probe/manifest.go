@@ -83,6 +83,7 @@ func (m *Manifest) WriteJSON(w io.Writer) error {
 // nondeterminism, not a cryptographic seal).
 func DigestHex(b []byte) string {
 	h := fnv.New64a()
+	//lint:ignore errcheck-own hash.Hash.Write is documented to never return an error
 	h.Write(b)
 	return fmt.Sprintf("%016x", h.Sum64())
 }

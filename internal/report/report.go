@@ -99,7 +99,7 @@ func rfClaims() []Claim {
 	pn := osc.MeasurePhaseNoise(1e6, 42)
 	return []Claim{
 		claim("fig3/tx-power-50mm", ">= 4 dBm at 50 mm isotropic", req >= 4 && req <= 7, "%.2f dBm", req),
-		claim("fig3/pa-covers-budget", "PA's 7 dBm covers the requirement", pa.PsatDBm >= req, "Psat %.2f dBm vs %.2f needed", pa.PsatDBm, req),
+		claim("fig3/pa-covers-budget", "PA's 7 dBm covers the requirement", rf.DBm(pa.PsatDBm) >= req, "Psat %.2f dBm vs %.2f needed", pa.PsatDBm, req),
 		claim("fig4a/phase-noise", "~-86 dBc/Hz at 1 MHz", pn > -92 && pn < -80, "%.1f dBc/Hz (simulated PSD)", pn),
 		claim("fig4b/p1db", "P1dB ~5 dBm", p1 > 4.5 && p1 < 5.5, "%.2f dBm", p1),
 		claim("fig4b/bandwidth", "~20 GHz above 2 dB gain", bw > 18 && bw < 22, "%.1f GHz", bw),
@@ -131,7 +131,7 @@ func fig6Claims(b core.Budget) []Claim {
 	rows := core.Figure6(b)
 	total := map[string]float64{}
 	for _, row := range rows {
-		total[row.Label] = row.Power.TotalMW()
+		total[row.Label] = float64(row.Power.TotalMW())
 	}
 	optxb, own4, cm, wc, pc := total["optxb"], total["own-config4"], total["cmesh"], total["wcmesh"], total["pclos"]
 	return []Claim{

@@ -17,13 +17,13 @@ const speedOfLight = 2.99792458e8
 // power for 50 mm at 32 Gb/s, 90 GHz, isotropic antennas.
 type LinkBudget struct {
 	// NoiseFigureDB is the receiver noise figure.
-	NoiseFigureDB float64
+	NoiseFigureDB Decibels
 	// SNRRequiredDB is the SNR needed for the target BER with
 	// non-coherent OOK.
-	SNRRequiredDB float64
+	SNRRequiredDB Decibels
 	// ImplMarginDB lumps implementation losses (envelope detector,
 	// matching, process margin).
-	ImplMarginDB float64
+	ImplMarginDB Decibels
 }
 
 // DefaultLinkBudget returns the calibrated chain.
@@ -32,37 +32,41 @@ func DefaultLinkBudget() LinkBudget {
 }
 
 // FSPLdB returns free-space path loss for distance mm at freq GHz.
-func FSPLdB(distMM, freqGHz float64) float64 {
+func FSPLdB(distMM, freqGHz float64) Decibels {
 	d := distMM / 1000.0
 	f := freqGHz * 1e9
-	return 20 * math.Log10(4*math.Pi*d*f/speedOfLight)
+	return Decibels(20 * math.Log10(4*math.Pi*d*f/speedOfLight))
 }
 
 // SensitivityDBm returns the receiver sensitivity for data rate
 // rateGbps: thermal floor + bandwidth + NF + required SNR (OOK occupies
 // roughly its bit rate in bandwidth).
-func (lb LinkBudget) SensitivityDBm(rateGbps float64) float64 {
+func (lb LinkBudget) SensitivityDBm(rateGbps float64) DBm {
 	bwHz := rateGbps * 1e9
-	return -174 + 10*math.Log10(bwHz) + lb.NoiseFigureDB + lb.SNRRequiredDB
+	floor := DBm(-174 + 10*math.Log10(bwHz))
+	return floor.PlusDB(lb.NoiseFigureDB).PlusDB(lb.SNRRequiredDB)
 }
 
 // RequiredTxDBm returns the transmit power needed to close the link over
 // distMM at freqGHz and rateGbps with the given total antenna directivity
 // (TX + RX, dBi).
-func (lb LinkBudget) RequiredTxDBm(distMM, freqGHz, rateGbps, directivityDBi float64) float64 {
-	return lb.SensitivityDBm(rateGbps) + FSPLdB(distMM, freqGHz) - directivityDBi + lb.ImplMarginDB
+func (lb LinkBudget) RequiredTxDBm(distMM, freqGHz, rateGbps float64, directivityDBi Decibels) DBm {
+	return lb.SensitivityDBm(rateGbps).
+		PlusDB(FSPLdB(distMM, freqGHz)).
+		MinusDB(directivityDBi).
+		PlusDB(lb.ImplMarginDB)
 }
 
 // Figure3Point is one sample of the link-budget sweep.
 type Figure3Point struct {
 	DistMM        float64
-	DirectivityDB float64
-	RequiredDBm   float64
+	DirectivityDB Decibels
+	RequiredDBm   DBm
 }
 
 // Figure3 sweeps required TX power versus distance for the given antenna
 // directivities at the paper's operating point (32 Gb/s, 90 GHz).
-func Figure3(lb LinkBudget, directivities []float64) []Figure3Point {
+func Figure3(lb LinkBudget, directivities []Decibels) []Figure3Point {
 	var out []Figure3Point
 	for _, g := range directivities {
 		for d := 5.0; d <= 50.0; d += 5 {
@@ -78,7 +82,7 @@ func Figure3(lb LinkBudget, directivities []float64) []Figure3Point {
 
 // MaxRangeMM returns the largest distance (searched to 200 mm) closable
 // with the given TX power.
-func (lb LinkBudget) MaxRangeMM(txDBm, freqGHz, rateGbps, directivityDBi float64) float64 {
+func (lb LinkBudget) MaxRangeMM(txDBm DBm, freqGHz, rateGbps float64, directivityDBi Decibels) float64 {
 	lo, hi := 0.1, 200.0
 	if lb.RequiredTxDBm(hi, freqGHz, rateGbps, directivityDBi) <= txDBm {
 		return hi

@@ -9,7 +9,7 @@ import (
 func TestFSPLKnownValue(t *testing.T) {
 	// 50 mm at 90 GHz: 20*log10(4*pi*0.05*9e10/c) ~ 45.5 dB.
 	got := FSPLdB(50, 90)
-	if math.Abs(got-45.5) > 0.3 {
+	if math.Abs(float64(got)-45.5) > 0.3 {
 		t.Fatalf("FSPL(50mm, 90GHz) = %v dB, want ~45.5", got)
 	}
 }
@@ -41,13 +41,13 @@ func TestFigure3DirectivityHelps(t *testing.T) {
 	lb := DefaultLinkBudget()
 	iso := lb.RequiredTxDBm(50, 90, 32, 0)
 	dir := lb.RequiredTxDBm(50, 90, 32, 10)
-	if math.Abs((iso-dir)-10) > 1e-9 {
+	if math.Abs(float64(iso-dir)-10) > 1e-9 {
 		t.Fatalf("10 dBi should cut required power by 10 dB: %v vs %v", iso, dir)
 	}
 }
 
 func TestFigure3Sweep(t *testing.T) {
-	pts := Figure3(DefaultLinkBudget(), []float64{0, 5, 10})
+	pts := Figure3(DefaultLinkBudget(), []Decibels{0, 5, 10})
 	if len(pts) != 30 {
 		t.Fatalf("%d points, want 30", len(pts))
 	}
@@ -67,7 +67,7 @@ func TestMaxRange(t *testing.T) {
 		t.Fatalf("7 dBm closes only %v mm, want >= 50", r)
 	}
 	// Round trip: required power at that range equals the given power.
-	if back := lb.RequiredTxDBm(r, 90, 32, 0); math.Abs(back-7) > 0.01 && r < 200 {
+	if back := lb.RequiredTxDBm(r, 90, 32, 0); math.Abs(float64(back)-7) > 0.01 && r < 200 {
 		t.Fatalf("inverse inconsistent: %v dBm at %v mm", back, r)
 	}
 }

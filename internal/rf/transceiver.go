@@ -37,14 +37,15 @@ func (t Transceiver) TotalPowerMW() float64 {
 // published mm-wave OOK links — versus the 0.1 pJ/bit Table III projects
 // for matured CMOS, which the paper presents as a technology target.
 func (t Transceiver) EnergyPerBitPJ() float64 {
+	//lint:ignore unitdim mW over Gb/s is pJ/bit by construction (10^-3 W / 10^9 bit/s = 10^-12 J/bit)
 	return t.TotalPowerMW() / t.RateGbps
 }
 
 // LinkCloses reports whether the chain closes an on-chip link of distMM
 // with the given total antenna directivity: the PA's 1-dB-compressed
 // output must meet the Figure 3 requirement.
-func (t Transceiver) LinkCloses(distMM, directivityDBi float64, lb LinkBudget) bool {
-	avail := t.PA.P1dBOutDBm(t.Osc.CenterGHz)
+func (t Transceiver) LinkCloses(distMM float64, directivityDBi Decibels, lb LinkBudget) bool {
+	avail := DBm(t.PA.P1dBOutDBm(t.Osc.CenterGHz))
 	need := lb.RequiredTxDBm(distMM, t.Osc.CenterGHz, t.RateGbps, directivityDBi)
 	return avail >= need
 }

@@ -1,0 +1,39 @@
+package rf
+
+import "math"
+
+// Named unit types for the link-budget math. Logarithmic units are the
+// easiest to silently miscompute: a relative gain (dB) and an absolute
+// power level (dBm) are both "decibels" to a float64, but adding two
+// absolute levels is meaningless while adding a gain to a level is the
+// whole point of a link budget. The types below encode that algebra —
+// the unitdim analyzer in internal/lint flags dBm+dBm and dB-vs-dBm
+// comparisons — and the converter methods are the sanctioned crossings
+// between the logarithmic and linear domains.
+
+// Decibels is a relative (dimensionless, logarithmic) quantity: gain,
+// loss, noise figure, margin, antenna directivity.
+type Decibels float64
+
+// DBm is an absolute power level referenced to 1 mW.
+type DBm float64
+
+// PlusDB shifts an absolute level by a relative gain or margin.
+func (p DBm) PlusDB(g Decibels) DBm {
+	return DBm(float64(p) + float64(g))
+}
+
+// MinusDB shifts an absolute level down by a relative gain or loss.
+func (p DBm) MinusDB(g Decibels) DBm {
+	return DBm(float64(p) - float64(g))
+}
+
+// ToMW converts an absolute level to linear milliwatts.
+func (p DBm) ToMW() float64 {
+	return math.Pow(10, float64(p)/10)
+}
+
+// MWToDBm converts linear milliwatts to an absolute level.
+func MWToDBm(mw float64) DBm {
+	return DBm(10 * math.Log10(mw))
+}

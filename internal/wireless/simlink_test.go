@@ -69,7 +69,7 @@ func TestBuildP2PEndToEnd(t *testing.T) {
 	}
 	// Energy: 80 flits x 0.7 pJ/bit x 128 bits.
 	want := 80.0 * 0.7 * 128
-	if math.Abs(m.WirelessPJ-want) > 1e-6 {
+	if math.Abs(float64(m.WirelessPJ)-want) > 1e-6 {
 		t.Fatalf("wireless energy %v pJ, want %v", m.WirelessPJ, want)
 	}
 }
@@ -131,7 +131,7 @@ func TestBuildSWMRMulticastDiscardEnergy(t *testing.T) {
 	}
 	// Each transmitted flit charges 2 receiver discards (3 RX - 1).
 	wantDiscardPJ := float64(m.NWirelessFlt) * 2 * m.P.EWirelessRxDiscardPJPerBit * 128
-	if math.Abs(m.WirelessRxPJ-wantDiscardPJ) > 1e-9 {
+	if math.Abs(float64(m.WirelessRxPJ)-wantDiscardPJ) > 1e-9 {
 		t.Fatalf("discard energy %v, want %v", m.WirelessRxPJ, wantDiscardPJ)
 	}
 }
