@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet build lint lint-fixtures test race smoke ci
+.PHONY: all fmt vet build lint lint-fixtures test race smoke bench bench-compare ci
 
 all: ci
 
@@ -67,5 +67,23 @@ smoke:
 		$$dir/smoke.prom $$dir/energy.csv $$dir/live-manifest.json \
 		$$dir/heat_congestion.csv $$dir/heat_congestion.svg \
 		$$dir/heat_energy.csv $$dir/heat_energy.svg
+
+# bench runs the simulator microbenchmarks (engine hot path, packet
+# pooling, end-to-end uniform-traffic runs) with allocation reporting.
+# Set BENCHOUT to also capture the raw output for bench-compare.
+bench:
+	@if [ -n "$(BENCHOUT)" ]; then \
+		$(GO) test -run XXX -bench . -benchmem . | tee "$(BENCHOUT)"; \
+	else \
+		$(GO) test -run XXX -bench . -benchmem .; \
+	fi
+
+# bench-compare re-runs the benchmarks and gates allocs/op against the
+# checked-in baseline (BENCH_BASELINE.txt). ns/op differences are
+# reported but never fail: they vary with hardware. allocs/op is
+# deterministic for these single-goroutine fixed-seed benchmarks.
+bench-compare:
+	@$(MAKE) --no-print-directory bench BENCHOUT=bench-new.txt
+	$(GO) run ./cmd/benchcmp -baseline BENCH_BASELINE.txt bench-new.txt
 
 ci: fmt vet build lint race smoke

@@ -11,6 +11,7 @@ import (
 
 	"ownsim/internal/core"
 	"ownsim/internal/fabric"
+	"ownsim/internal/noc"
 	"ownsim/internal/photonic"
 	"ownsim/internal/power"
 	"ownsim/internal/rf"
@@ -264,6 +265,78 @@ func BenchmarkSimCMESH256(b *testing.B) { simThroughput(b, "cmesh", 256, 0.004) 
 func BenchmarkSimOWN1024(b *testing.B)  { simThroughput(b, "own", 1024, 0.001) }
 func BenchmarkSimOptXB1024(b *testing.B) {
 	simThroughput(b, "optxb", 1024, 0.001)
+}
+
+// --- Active-set scheduler and pooling benchmarks (PR 7) ---
+//
+// BenchmarkUniform256/1024 are the headline hot-path numbers: one full
+// build+run at fixed seed and a 1-cycle drain budget, allocation-tracked.
+// BENCH_BASELINE.txt records the checked-in reference; make bench-compare
+// gates allocs/op (deterministic) and reports ns/op (informational).
+
+func benchUniform(b *testing.B, cores int, rate float64) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Construction (routers, wires, channels) is excluded: the
+		// benchmark measures the simulation hot path, which is where the
+		// active-set scheduler and packet pooling live.
+		b.StopTimer()
+		sys := core.NewSystem("own", cores, wireless.Config4, wireless.Ideal)
+		n := sys.Build(power.NewMeter(nil))
+		b.StartTimer()
+		n.Run(
+			fabric.TrafficSpec{Pattern: traffic.Uniform, Rate: rate, Seed: 1, Policy: sys.Policy, Classify: sys.Classify},
+			fabric.RunSpec{Warmup: 200, Measure: 10000, DrainBudget: 1, ReservoirCap: 4096},
+		)
+	}
+}
+
+func BenchmarkUniform256(b *testing.B)  { benchUniform(b, 256, 0.004) }
+func BenchmarkUniform1024(b *testing.B) { benchUniform(b, 1024, 0.001) }
+
+type nopFlitSink struct{}
+
+func (nopFlitSink) ReceiveFlit(int, *noc.Flit) {}
+
+type nopCreditSink struct{}
+
+func (nopCreditSink) ReceiveCredit(int, int) {}
+
+// BenchmarkEngineStepIdle measures one engine step over 4096 registered
+// but traffic-less wires — the steady-state cost of components that have
+// nothing to do. Under the active-set scheduler they all sleep after the
+// first cycle, so a step is a few bitmap-word checks instead of 4096
+// virtual calls.
+func BenchmarkEngineStepIdle(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	for i := 0; i < 4096; i++ {
+		w := noc.NewWire(nopCreditSink{}, 0, nopFlitSink{}, 0, 1, 1)
+		w.SetWaker(e.RegisterWakeable(sim.PhaseDelivery, w))
+	}
+	e.Step() // first cycle: every wire ticks once and goes to sleep
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkFlitPool measures one packet lifetime — Get, materialize a
+// 5-flit sequence, Recycle — which must be allocation-free in steady
+// state (the freshly-allocating equivalent costs 7 allocs).
+func BenchmarkFlitPool(b *testing.B) {
+	b.ReportAllocs()
+	var pl noc.Pool
+	for i := 0; i < b.N; i++ {
+		p := pl.Get()
+		p.NumFlits = 5
+		fl := noc.FlitsOf(p)
+		if len(fl) != 5 {
+			b.Fatal("bad flit count")
+		}
+		noc.Recycle(p)
+	}
 }
 
 func BenchmarkRNGUint64(b *testing.B) {

@@ -69,7 +69,7 @@ func (n *Network) AddRouter(cfg router.Config) *router.Router {
 	cfg.Meter = n.Meter
 	r := router.New(cfg)
 	n.Routers = append(n.Routers, r)
-	n.Eng.Register(sim.PhaseCompute, r)
+	r.SetWaker(n.Eng.RegisterWakeable(sim.PhaseCompute, r))
 	return r
 }
 
@@ -110,7 +110,7 @@ func (n *Network) Connect(a *router.Router, aPort int, b *router.Router, bPort i
 	}
 	a.ConnectOutput(aPort, w, b.Cfg.BufDepth, spec.SerializeCy)
 	b.ConnectInput(bPort, w)
-	n.Eng.Register(sim.PhaseDelivery, w)
+	w.SetWaker(n.Eng.RegisterWakeable(sim.PhaseDelivery, w))
 	kind := "elec"
 	if spec.Photonic {
 		kind = "photonic"
@@ -154,16 +154,16 @@ func (n *Network) AddTerminalSplit(coreID int, in *router.Router, inPort int, ou
 	in.ConnectInput(inPort, wIn)
 
 	snk := router.NewSink(coreID)
-	// Sinks must tick before the wires that feed them (delivery phase
-	// registration order).
-	n.Eng.Register(sim.PhaseDelivery, snk)
+	// Sinks read the engine clock directly instead of ticking every
+	// cycle just to track time; they need no registration at all.
+	snk.SetClock(n.Eng)
 	wOut := noc.NewWire(out, outPort, snk, 0, 1, 1)
 	out.ConnectOutput(outPort, wOut, out.Cfg.BufDepth, 1)
 	snk.SetUpstream(wOut)
 
-	n.Eng.Register(sim.PhaseDelivery, wIn)
-	n.Eng.Register(sim.PhaseDelivery, wOut)
-	n.Eng.Register(sim.PhaseCompute, src)
+	wIn.SetWaker(n.Eng.RegisterWakeable(sim.PhaseDelivery, wIn))
+	wOut.SetWaker(n.Eng.RegisterWakeable(sim.PhaseDelivery, wOut))
+	src.SetWaker(n.Eng.RegisterWakeable(sim.PhaseCompute, src))
 
 	n.Sources[coreID] = src
 	n.Sinks[coreID] = snk
@@ -237,7 +237,7 @@ func (n *Network) Run(ts TrafficSpec, rs RunSpec) Result {
 		}
 		gen.MeasureFrom = rs.Warmup
 		gen.MeasureTo = rs.Warmup + rs.Measure
-		src.Gen = gen
+		src.SetGenerator(gen)
 		src.Policy = ts.Policy
 		src.OnAccepted = col.OnCreated
 		snk := n.Sinks[id]
@@ -277,7 +277,7 @@ func (n *Network) RunTrace(tr *traffic.Trace, pktFlits int, ts TrafficSpec, budg
 			panic(fmt.Sprintf("fabric: terminal %d missing", id))
 		}
 		gens[id].MeasureFrom, gens[id].MeasureTo = 0, budget
-		src.Gen = gens[id]
+		src.SetGenerator(gens[id])
 		src.Policy = ts.Policy
 		src.OnAccepted = col.OnCreated
 		n.Sinks[id].OnPacket = col.OnEjected

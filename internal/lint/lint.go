@@ -121,6 +121,7 @@ func knownAnalyzerNames() map[string]bool {
 // maporder analyzers restrict themselves to these subtrees.
 var DeterministicPackages = []string{
 	"internal/sim",
+	"internal/noc",
 	"internal/router",
 	"internal/fabric",
 	"internal/traffic",

@@ -68,6 +68,15 @@ type Packet struct {
 	// Hops counts router traversals, checked against topology diameter
 	// bounds in tests.
 	Hops int
+
+	// Pooling internals (see Pool): the owning freelist, the packet's
+	// reusable flit storage, the lifetime generation counter, and the
+	// double-recycle guard.
+	pool     *Pool
+	flitBuf  []Flit
+	flitPtrs []*Flit
+	gen      uint32
+	freed    bool
 }
 
 // Latency returns the packet's total queueing + network latency in cycles.
@@ -89,6 +98,10 @@ type Flit struct {
 	// VC is the virtual channel the flit occupies on the link it is
 	// currently traversing. Routers rewrite it during VC allocation.
 	VC int
+
+	// gen snapshots the packet's lifetime generation at materialization;
+	// see Live.
+	gen uint32
 }
 
 // IsHead reports whether the flit opens a packet.
@@ -97,20 +110,21 @@ func (f *Flit) IsHead() bool { return f.Type == Head || f.Type == HeadTail }
 // IsTail reports whether the flit closes a packet.
 func (f *Flit) IsTail() bool { return f.Type == Tail || f.Type == HeadTail }
 
-// MakeFlits materializes the flit sequence for a packet.
+// Live reports whether the flit's storage still belongs to the packet
+// lifetime it was materialized for. It turns false the moment the packet
+// is recycled — a component or hook holding a flit past that point is
+// violating the pooling ownership protocol (see Pool). Debug checks and
+// pool-safety tests assert it.
+func (f *Flit) Live() bool { return f.Pkt == nil || f.gen == f.Pkt.gen }
+
+// MakeFlits materializes the flit sequence for a packet in freshly
+// allocated storage independent of the packet's pooled buffers. The hot
+// path uses FlitsOf instead; MakeFlits remains for callers that need the
+// flits to outlive the packet lifetime.
 func MakeFlits(p *Packet) []*Flit {
 	fl := make([]*Flit, p.NumFlits)
 	for i := range fl {
-		t := Body
-		switch {
-		case p.NumFlits == 1:
-			t = HeadTail
-		case i == 0:
-			t = Head
-		case i == p.NumFlits-1:
-			t = Tail
-		}
-		fl[i] = &Flit{Pkt: p, Seq: i, Type: t}
+		fl[i] = &Flit{Pkt: p, Seq: i, Type: flitTypeAt(i, p.NumFlits), gen: p.gen}
 	}
 	return fl
 }

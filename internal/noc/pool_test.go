@@ -1,0 +1,121 @@
+package noc
+
+import "testing"
+
+func TestPoolGetRecycleReusesStorage(t *testing.T) {
+	var pl Pool
+	p := pl.Get()
+	p.NumFlits = 5
+	fl := FlitsOf(p)
+	if len(fl) != 5 {
+		t.Fatalf("FlitsOf returned %d flits, want 5", len(fl))
+	}
+	first := fl[0]
+	Recycle(p)
+	q := pl.Get()
+	if q != p {
+		t.Fatal("pool did not hand back the recycled packet")
+	}
+	q.NumFlits = 5
+	fl2 := FlitsOf(q)
+	if fl2[0] != first {
+		t.Fatal("FlitsOf did not reuse the packet's flit storage")
+	}
+	if pl.Gets != 2 || pl.News != 1 || pl.Recycled != 1 {
+		t.Fatalf("counters Gets=%d News=%d Recycled=%d, want 2/1/1", pl.Gets, pl.News, pl.Recycled)
+	}
+}
+
+func TestPoolGetZeroesPacketFields(t *testing.T) {
+	var pl Pool
+	p := pl.Get()
+	p.ID, p.Src, p.Dst, p.NumFlits, p.Hops = 42, 1, 2, 5, 9
+	p.CreatedAt, p.InjectedAt, p.EjectedAt, p.Measure = 10, 11, 12, true
+	FlitsOf(p)
+	Recycle(p)
+	q := pl.Get()
+	if q.ID != 0 || q.Src != 0 || q.Dst != 0 || q.NumFlits != 0 || q.Hops != 0 ||
+		q.CreatedAt != 0 || q.InjectedAt != 0 || q.EjectedAt != 0 || q.Measure {
+		t.Fatalf("recycled packet not zeroed: %+v", q)
+	}
+}
+
+func TestRecycleBumpsGenerationAndLive(t *testing.T) {
+	var pl Pool
+	p := pl.Get()
+	p.NumFlits = 3
+	fl := FlitsOf(p)
+	for _, f := range fl {
+		if !f.Live() {
+			t.Fatal("fresh flit reports not live")
+		}
+	}
+	stale := fl[2]
+	Recycle(p)
+	if stale.Live() {
+		t.Fatal("flit of a recycled packet still reports live")
+	}
+	q := pl.Get()
+	q.NumFlits = 3
+	fl2 := FlitsOf(q)
+	if !fl2[0].Live() {
+		t.Fatal("flit of the new lifetime reports not live")
+	}
+	// Once the next lifetime re-materializes, the stale pointer aliases
+	// the new flit's storage — Live() can no longer tell them apart.
+	// The detection window is [Recycle, next FlitsOf), which is exactly
+	// when a retained reference would first be misused.
+}
+
+func TestDoubleRecyclePanics(t *testing.T) {
+	var pl Pool
+	p := pl.Get()
+	Recycle(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Recycle of the same lifetime did not panic")
+		}
+	}()
+	Recycle(p)
+}
+
+func TestRecycleUnpooledIsNoOp(t *testing.T) {
+	Recycle(nil)
+	Recycle(&Packet{ID: 7}) // never came from a pool: ignored
+}
+
+func TestFlitsOfGrowsForLongerPackets(t *testing.T) {
+	var pl Pool
+	p := pl.Get()
+	p.NumFlits = 2
+	FlitsOf(p)
+	Recycle(p)
+	q := pl.Get()
+	q.NumFlits = 6
+	fl := FlitsOf(q)
+	if len(fl) != 6 {
+		t.Fatalf("got %d flits, want 6", len(fl))
+	}
+	if fl[0].Type != Head || fl[5].Type != Tail || fl[3].Type != Body {
+		t.Fatalf("flit types wrong after growth: %v %v %v", fl[0].Type, fl[3].Type, fl[5].Type)
+	}
+}
+
+func TestFlitsOfMatchesMakeFlits(t *testing.T) {
+	for _, n := range []int{1, 2, 5} {
+		var pl Pool
+		p := pl.Get()
+		p.ID, p.NumFlits = 3, n
+		pooled := FlitsOf(p)
+		fresh := MakeFlits(p)
+		if len(pooled) != len(fresh) {
+			t.Fatalf("n=%d: lengths %d vs %d", n, len(pooled), len(fresh))
+		}
+		for i := range pooled {
+			a, b := pooled[i], fresh[i]
+			if a.Seq != b.Seq || a.Type != b.Type || a.Pkt != b.Pkt {
+				t.Fatalf("n=%d flit %d: pooled %+v vs fresh %+v", n, i, *a, *b)
+			}
+		}
+	}
+}

@@ -1,5 +1,7 @@
 package noc
 
+import "ownsim/internal/sim"
+
 // Wire is a pipelined point-to-point electrical link with a constant
 // forward (flit) delay and reverse (credit) delay, both in cycles.
 //
@@ -28,6 +30,7 @@ type Wire struct {
 	OnFlit func(f *Flit)
 
 	now     uint64
+	waker   *sim.Waker
 	flits   timedFlitQueue
 	credits timedCreditQueue
 }
@@ -52,15 +55,40 @@ func NewWire(src CreditReceiver, srcPort int, dst FlitReceiver, dstPort int, del
 	}
 }
 
+// SetWaker installs the wire's scheduling handle (from
+// sim.Engine.RegisterWakeable). A wire without a waker behaves as a plain
+// every-cycle Ticker and tracks time through its own Tick; with a waker
+// it reads the clock through the engine and sleeps whenever both queues
+// are empty.
+func (w *Wire) SetWaker(wk *sim.Waker) { w.waker = wk }
+
+// clock returns the current cycle: the engine's when a waker is
+// installed (a sleeping wire's own copy goes stale), the last ticked
+// cycle otherwise.
+func (w *Wire) clock() uint64 {
+	if w.waker != nil {
+		return w.waker.Now()
+	}
+	return w.now
+}
+
 // Send implements Conduit. It is called during the Compute phase.
 func (w *Wire) Send(f *Flit) {
-	w.flits.push(timedFlit{at: w.now + uint64(w.Delay), f: f})
+	at := w.clock() + uint64(w.Delay)
+	w.flits.push(timedFlit{at: at, f: f})
+	if w.waker != nil {
+		w.waker.WakeAt(at)
+	}
 }
 
 // ReturnCredit implements CreditReturner: the downstream buffer returns a
 // freed slot, and the wire carries the credit back upstream.
 func (w *Wire) ReturnCredit(vc int) {
-	w.credits.push(timedCredit{at: w.now + uint64(w.CreditDelay), vc: vc})
+	at := w.clock() + uint64(w.CreditDelay)
+	w.credits.push(timedCredit{at: at, vc: vc})
+	if w.waker != nil {
+		w.waker.WakeAt(at)
+	}
 }
 
 // Tick implements sim.Ticker; it runs in the Delivery phase and hands over
@@ -85,6 +113,30 @@ func (w *Wire) Tick(cycle uint64) {
 		}
 		w.credits.pop()
 		w.src.ReceiveCredit(w.srcPort, tc.vc)
+	}
+	if w.waker != nil {
+		w.reschedule(cycle)
+	}
+}
+
+// reschedule re-arms the waker for the earliest outstanding deadline, or
+// sleeps when both queues are empty. Send/ReturnCredit arriving while
+// asleep wake the wire directly. A deadline on the very next cycle keeps
+// the awake bit set instead of paying for a heap round-trip.
+func (w *Wire) reschedule(cycle uint64) {
+	next := uint64(0)
+	if tf, ok := w.flits.peek(); ok {
+		next = tf.at
+	}
+	if tc, ok := w.credits.peek(); ok && (next == 0 || tc.at < next) {
+		next = tc.at
+	}
+	if next == cycle+1 {
+		return // stay awake
+	}
+	w.waker.Sleep()
+	if next != 0 {
+		w.waker.WakeAt(next)
 	}
 }
 

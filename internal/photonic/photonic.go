@@ -134,7 +134,7 @@ func BuildCrossbar(n *fabric.Network, name string, routers []*router.Router, pm 
 					n.NoteEdge(routers[w].Cfg.ID, routers[t].Cfg.ID, "photonic")
 				}
 			}
-			n.Eng.Register(sim.PhaseDelivery, ch)
+			ch.SetWaker(n.Eng.RegisterWakeable(sim.PhaseDelivery, ch))
 			n.TrackChannel(ch)
 			xb.Channels = append(xb.Channels, ch)
 		}

@@ -18,6 +18,7 @@ import (
 	"ownsim/internal/noc"
 	"ownsim/internal/power"
 	"ownsim/internal/probe"
+	"ownsim/internal/sim"
 )
 
 // RouteFunc computes the output port and the set of permitted output VCs
@@ -149,7 +150,8 @@ type Router struct {
 	inBest  []*vcState
 	outBest []*vcState
 
-	now uint64
+	now   uint64
+	waker *sim.Waker
 }
 
 // New creates a router with no ports connected. Topologies connect inputs
@@ -159,9 +161,12 @@ func New(cfg Config) *Router {
 		panic(fmt.Sprintf("router %d: invalid config %+v", cfg.ID, cfg))
 	}
 	r := &Router{
-		Cfg:      cfg,
-		in:       make([]*InputPort, cfg.NumPorts),
-		out:      make([]*OutputPort, cfg.NumPorts),
+		Cfg: cfg,
+		in:  make([]*InputPort, cfg.NumPorts),
+		out: make([]*OutputPort, cfg.NumPorts),
+		// The active list can hold at most one entry per input VC;
+		// pre-sizing it to that bound keeps the hot path append-free.
+		active:   make([]*vcState, 0, cfg.NumPorts*cfg.NumVCs),
 		saInPtr:  make([]int, cfg.NumPorts),
 		saOutPtr: make([]int, cfg.NumPorts),
 		inBest:   make([]*vcState, cfg.NumPorts),
@@ -244,10 +249,19 @@ func (r *Router) ReceiveCredit(port, vc int) {
 	}
 }
 
+// SetWaker installs the router's scheduling handle (from
+// sim.Engine.RegisterWakeable). The router sleeps whenever its active
+// list is empty; flit arrivals wake it. Credits arriving at a sleeping
+// router need no wake: with no buffered flits there is nothing to grant.
+func (r *Router) SetWaker(w *sim.Waker) { r.waker = w }
+
 func (r *Router) activate(v *vcState) {
 	if !v.inActive {
 		v.inActive = true
 		r.active = append(r.active, v)
+		if r.waker != nil {
+			r.waker.Wake()
+		}
 	}
 }
 
@@ -256,12 +270,18 @@ func (r *Router) activate(v *vcState) {
 func (r *Router) Tick(cycle uint64) {
 	r.now = cycle
 	if len(r.active) == 0 {
+		if r.waker != nil {
+			r.waker.Sleep()
+		}
 		return
 	}
 	r.switchAllocate()
 	r.vcAllocate()
 	r.routeCompute()
 	r.compactActive()
+	if r.waker != nil && len(r.active) == 0 {
+		r.waker.Sleep()
+	}
 }
 
 // switchAllocate runs the two-stage separable allocator and performs

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ownsim/internal/noc"
+	"ownsim/internal/sim"
 )
 
 // Sink is the ejection endpoint of one core. It implements
@@ -22,6 +23,7 @@ type Sink struct {
 	OnEject func(p *noc.Packet, cycle uint64)
 
 	upstream noc.CreditReturner
+	eng      *sim.Engine
 	now      uint64
 
 	expected map[uint64]int // packet ID -> next expected seq, for ordering checks
@@ -38,10 +40,24 @@ func NewSink(coreID int) *Sink {
 // sink. Must be called before simulation.
 func (s *Sink) SetUpstream(u noc.CreditReturner) { s.upstream = u }
 
+// SetClock points the sink at the engine's cycle counter, removing the
+// need to tick it every cycle just to track time. Sinks with a clock need
+// no engine registration at all: they only ever react to ReceiveFlit.
+func (s *Sink) SetClock(e *sim.Engine) { s.eng = e }
+
 // Tick implements sim.Ticker; it runs in the Delivery phase purely to
 // track the current cycle (sinks must be registered before the wires that
-// feed them).
+// feed them). Sinks given SetClock are not registered and never tick.
 func (s *Sink) Tick(cycle uint64) { s.now = cycle }
+
+// clock returns the current cycle from the engine when installed, else
+// the last ticked cycle.
+func (s *Sink) clock() uint64 {
+	if s.eng != nil {
+		return s.eng.Cycle()
+	}
+	return s.now
+}
 
 // ReceiveFlit implements noc.FlitReceiver.
 func (s *Sink) ReceiveFlit(_ int, f *noc.Flit) {
@@ -58,14 +74,19 @@ func (s *Sink) ReceiveFlit(_ int, f *noc.Flit) {
 		s.upstream.ReturnCredit(f.VC)
 	}
 	if f.IsTail() {
+		now := s.clock()
 		delete(s.expected, p.ID)
-		p.EjectedAt = s.now
+		p.EjectedAt = now
 		s.Ejected++
 		if s.OnPacket != nil {
-			s.OnPacket(p, s.now)
+			s.OnPacket(p, now)
 		}
 		if s.OnEject != nil {
-			s.OnEject(p, s.now)
+			s.OnEject(p, now)
 		}
+		// The tail is the last flit of the packet to be consumed
+		// (in-order per-VC delivery), so the lifetime ends here; hooks
+		// above must not have retained the packet (see noc.Pool).
+		noc.Recycle(p)
 	}
 }

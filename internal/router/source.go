@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ownsim/internal/noc"
+	"ownsim/internal/sim"
 )
 
 // Generator produces at most one new packet per cycle for one source; nil
@@ -11,6 +12,24 @@ import (
 // of the paper's synthetic patterns.
 type Generator interface {
 	Generate(cycle uint64) *noc.Packet
+}
+
+// NextWaker is an optional Generator extension for generators whose
+// schedule is known in advance (trace replay): NextPending returns the
+// earliest cycle >= from at which Generate may produce a packet, and
+// false when the generator is exhausted. Sources use it to sleep through
+// generation gaps. Generators that draw randomness per cycle (Bernoulli)
+// must NOT implement it: skipping their cycles would change the RNG
+// stream and break bit-for-bit reproducibility.
+type NextWaker interface {
+	NextPending(from uint64) (uint64, bool)
+}
+
+// PoolUser is an optional Generator extension: a generator that allocates
+// its packets from the source's freelist, so that steady-state traffic
+// allocates nothing. Sources install their pool via SetGenerator.
+type PoolUser interface {
+	UsePool(*noc.Pool)
 }
 
 // VCPolicy returns the bit mask of injection VCs a packet may use. The
@@ -48,6 +67,10 @@ type Source struct {
 	numVCs  int
 	credits []int
 
+	pool      noc.Pool
+	waker     *sim.Waker
+	nextWaker NextWaker // cached NextWaker view of Gen, set by SetGenerator
+
 	queue    pktQueue
 	inflight []*noc.Flit // flits of the packet being injected
 	nextFlit int
@@ -83,6 +106,35 @@ func NewSource(coreID int, out noc.Conduit, numVCs, creditsPerVC int) *Source {
 // late.
 func (s *Source) SetConduit(out noc.Conduit) { s.out = out }
 
+// SetWaker installs the source's scheduling handle (from
+// sim.Engine.RegisterWakeable). A source sleeps only when it has nothing
+// queued or in flight AND its generator is provably idle: absent, or a
+// NextWaker reporting a known next cycle. Generators that draw randomness
+// every cycle keep the source permanently awake, preserving the RNG
+// stream.
+func (s *Source) SetWaker(w *sim.Waker) { s.waker = w }
+
+// SetGenerator installs gen, points pooling-aware generators at this
+// source's packet freelist, and wakes the source. Prefer it over writing
+// the Gen field directly: a source that went to sleep with no generator
+// would otherwise never notice the new one.
+func (s *Source) SetGenerator(g Generator) {
+	s.Gen = g
+	s.nextWaker = nil
+	if nw, ok := g.(NextWaker); ok {
+		s.nextWaker = nw
+	}
+	if pu, ok := g.(PoolUser); ok {
+		pu.UsePool(&s.pool)
+	}
+	if s.waker != nil {
+		s.waker.Wake()
+	}
+}
+
+// Pool exposes the source's packet freelist for tests and diagnostics.
+func (s *Source) Pool() *noc.Pool { return &s.pool }
+
 // ReceiveCredit implements noc.CreditReceiver (port is ignored; a source
 // has a single output).
 func (s *Source) ReceiveCredit(_, vc int) {
@@ -103,6 +155,9 @@ func (s *Source) Tick(cycle uint64) {
 			s.Generated++
 			if s.queue.size >= s.maxQueue() {
 				s.Dropped++
+				// Dropped packets never enter the network; their
+				// storage is free for the next generation.
+				noc.Recycle(p)
 			} else {
 				s.queue.push(p)
 				if s.OnAccepted != nil {
@@ -120,7 +175,7 @@ func (s *Source) Tick(cycle uint64) {
 		vc := s.pickVC(p)
 		if vc >= 0 {
 			s.queue.pop()
-			s.inflight = noc.MakeFlits(p)
+			s.inflight = noc.FlitsOf(p)
 			s.nextFlit = 0
 			s.curVC = vc
 			p.InjectedAt = cycle
@@ -142,6 +197,31 @@ func (s *Source) Tick(cycle uint64) {
 			s.curVC = -1
 		}
 	}
+	if s.waker != nil {
+		s.reschedule(cycle)
+	}
+}
+
+// reschedule sleeps the source when it is provably idle: nothing queued
+// or in flight, and the generator either absent or (via NextWaker) known
+// not to produce before a future cycle, for which a timed wakeup is
+// armed. Sources stalled on credits stay awake: retrying costs one cheap
+// tick and credits arrive through a wire, not through the waker.
+func (s *Source) reschedule(cycle uint64) {
+	if s.inflight != nil || s.queue.size > 0 {
+		return
+	}
+	if s.Gen != nil {
+		if s.nextWaker == nil {
+			return // per-cycle generator: must see every cycle
+		}
+		if next, pending := s.nextWaker.NextPending(cycle + 1); pending {
+			s.waker.Sleep()
+			s.waker.WakeAt(next)
+			return
+		}
+	}
+	s.waker.Sleep()
 }
 
 func (s *Source) maxQueue() int {

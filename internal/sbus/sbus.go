@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"ownsim/internal/noc"
+	"ownsim/internal/sim"
 )
 
 // Channel is one shared medium.
@@ -52,6 +53,7 @@ type Channel struct {
 
 	writers []*Writer
 	rxs     []*Rx
+	waker   *sim.Waker
 
 	token       int
 	lockedW     int // -1 when free
@@ -119,6 +121,9 @@ func (w *Writer) Send(f *noc.Flit) {
 	}
 	q.push(f)
 	w.ch.totalQueued++
+	if w.ch.waker != nil {
+		w.ch.waker.Wake()
+	}
 }
 
 // Rx is one receive port: it forwards delivered flits into a router input
@@ -158,9 +163,24 @@ type flight struct {
 	rx int
 }
 
+// SetWaker installs the channel's scheduling handle (from
+// sim.Engine.RegisterWakeable). Without one the channel is a plain
+// every-cycle Ticker; with one it sleeps when fully idle and through
+// serialization windows (during which Tick has no side effects), while
+// staying awake every cycle whenever a locked packet may stall on credits
+// or a wormhole gap — the per-cycle CreditStallCy telemetry depends on it.
+func (c *Channel) SetWaker(w *sim.Waker) { c.waker = w }
+
 // Tick implements sim.Ticker (Delivery phase): deliver due flits, then
 // advance arbitration/serialization.
 func (c *Channel) Tick(cycle uint64) {
+	c.tick(cycle)
+	if c.waker != nil {
+		c.reschedule(cycle)
+	}
+}
+
+func (c *Channel) tick(cycle uint64) {
 	for {
 		fl, ok := c.inflight.peek()
 		if !ok || fl.at > cycle {
@@ -178,6 +198,32 @@ func (c *Channel) Tick(cycle uint64) {
 	}
 	if c.totalQueued > 0 {
 		c.acquire(cycle)
+	}
+}
+
+// reschedule sleeps through provably side-effect-free windows. A channel
+// with a lock or queued work must run at busyUntil (or next cycle if not
+// busy — that is where credit-stall accounting happens, one count per
+// stalled cycle); deliveries may come due earlier. Writers wake a fully
+// idle channel on Send; credit returns never need to (a channel waiting
+// on credits is awake by construction).
+func (c *Channel) reschedule(cycle uint64) {
+	next := uint64(0)
+	if c.lockedW >= 0 || c.totalQueued > 0 {
+		next = cycle + 1
+		if c.busyUntil > next {
+			next = c.busyUntil
+		}
+	}
+	if fl, ok := c.inflight.peek(); ok && (next == 0 || fl.at < next) {
+		next = fl.at
+	}
+	if next == cycle+1 {
+		return // stay awake
+	}
+	c.waker.Sleep()
+	if next != 0 {
+		c.waker.WakeAt(next)
 	}
 }
 

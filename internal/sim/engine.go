@@ -9,12 +9,27 @@
 // in-flight flits in the Delivery phase, and routers/network interfaces make
 // decisions in the Compute phase, so all routers observe a consistent
 // "start of cycle" view of their input buffers.
+//
+// Components come in two flavours. Plain Tickers (Register) are visited
+// every cycle, unconditionally — the right contract for collectors that
+// must observe every cycle, such as the probe sampler. Wakeable tickers
+// (RegisterWakeable) are only visited on cycles for which they are awake:
+// they receive a Waker handle, put themselves to sleep when idle, and are
+// woken by the events that hand them work (a flit sent onto a wire, a
+// credit returned, a packet queued on a shared channel). At kilo-core
+// scale most wires, routers and channels are idle on any given cycle, so
+// the active-set walk is the difference between thousands of virtual calls
+// per cycle and a handful.
 package sim
+
+import "math/bits"
 
 // Ticker is a simulation component that performs work once per cycle.
 type Ticker interface {
 	// Tick advances the component to the given cycle. Cycles are
-	// monotonically increasing and start at zero.
+	// monotonically increasing and start at zero. Wakeable tickers must
+	// tolerate spurious wakes: a Tick on a cycle with no due work must
+	// have no observable effect.
 	Tick(cycle uint64)
 }
 
@@ -37,10 +52,12 @@ const (
 //
 // The zero value is not usable; create engines with NewEngine. Components
 // must be registered before the first call to Step or Run. Registration
-// order within a phase is preserved, which (together with seeded RNGs)
-// makes whole simulations bit-for-bit reproducible.
+// order within a phase is preserved — awake components are visited in
+// ascending registration order via a dense bitmap, never in wake order —
+// which (together with seeded RNGs) makes whole simulations bit-for-bit
+// reproducible.
 type Engine struct {
-	phases [numPhases][]Ticker
+	phases [numPhases]phaseSched
 	cycle  uint64
 }
 
@@ -49,25 +66,40 @@ func NewEngine() *Engine {
 	return &Engine{}
 }
 
-// Register adds a component to the given phase. It panics on an invalid
-// phase, since that is a wiring bug, not a runtime condition.
+// Register adds an always-on component to the given phase: it is ticked
+// every cycle. It panics on an invalid phase, since that is a wiring bug,
+// not a runtime condition.
 func (e *Engine) Register(p Phase, t Ticker) {
 	if p < 0 || p >= numPhases {
 		panic("sim: invalid phase")
 	}
-	e.phases[p] = append(e.phases[p], t)
+	e.phases[p].add(t, nil)
 }
 
-// Cycle returns the number of completed cycles.
+// RegisterWakeable adds a component that participates in the active-set
+// schedule and returns its Waker. The component starts awake (its first
+// Tick lets it decide to sleep) and is thereafter only visited on cycles
+// for which it is awake. It panics on an invalid phase.
+func (e *Engine) RegisterWakeable(p Phase, t Ticker) *Waker {
+	if p < 0 || p >= numPhases {
+		panic("sim: invalid phase")
+	}
+	ps := &e.phases[p]
+	w := &Waker{e: e, ps: ps}
+	ps.add(t, w)
+	return w
+}
+
+// Cycle returns the number of completed cycles. During a component's Tick
+// it reports the cycle currently executing, which is what wakeable
+// components use (via Waker.Now) to timestamp events between their ticks.
 func (e *Engine) Cycle() uint64 { return e.cycle }
 
 // Step advances simulated time by exactly one cycle.
 func (e *Engine) Step() {
 	c := e.cycle
-	for p := Phase(0); p < numPhases; p++ {
-		for _, t := range e.phases[p] {
-			t.Tick(c)
-		}
+	for p := 0; p < int(numPhases); p++ {
+		e.phases[p].run(c)
 	}
 	e.cycle++
 }
@@ -79,13 +111,40 @@ func (e *Engine) Run(n uint64) {
 	}
 }
 
+// Quiescent reports whether no component is awake and no timed wakeup is
+// pending in any phase. A quiescent engine is frozen: no Tick will ever
+// run again, so stepping only advances the cycle counter. Always-on
+// components keep their awake bit permanently, so an engine with any
+// plain-Register component is never quiescent.
+func (e *Engine) Quiescent() bool {
+	for p := range e.phases {
+		ps := &e.phases[p]
+		if ps.awake > 0 || len(ps.timers) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // RunUntil advances time until cond returns true (checked after each cycle)
 // or until the cycle budget is exhausted. It reports whether cond fired.
+//
+// When the engine goes quiescent mid-run (network fully drained, nothing
+// scheduled), no future Tick can change simulation state, so RunUntil
+// fast-forwards the cycle counter through the remaining budget instead of
+// stepping idle cycles one by one. cond must therefore be a function of
+// simulation state, not of Cycle(): a cond that flips at a specific wall
+// cycle may be observed later than it would have been under per-cycle
+// stepping (the final cycle count and simulation state are identical).
 func (e *Engine) RunUntil(cond func() bool, budget uint64) bool {
 	for i := uint64(0); i < budget; i++ {
 		e.Step()
 		if cond() {
 			return true
+		}
+		if e.Quiescent() {
+			e.cycle += budget - i - 1
+			return cond()
 		}
 	}
 	return false
@@ -96,5 +155,96 @@ func (e *Engine) Components(p Phase) int {
 	if p < 0 || p >= numPhases {
 		return 0
 	}
-	return len(e.phases[p])
+	return len(e.phases[p].ticks)
+}
+
+// Awake returns the number of currently awake components in phase p
+// (always-on components count as permanently awake). Exposed for tests
+// and benchmarks of the scheduler.
+func (e *Engine) Awake(p Phase) int {
+	if p < 0 || p >= numPhases {
+		return 0
+	}
+	return e.phases[p].awake
+}
+
+// phaseSched is the active-set schedule of one phase: the components in
+// registration order, a dense awake bitmap over them, and a heap of timed
+// wakeups. Iteration walks the bitmap in ascending index order, so the
+// visit order is always registration order regardless of wake order.
+type phaseSched struct {
+	ticks  []Ticker
+	wakers []*Waker // index-aligned with ticks; nil for always-on
+	bits   []uint64 // awake bitmap, bit i covers ticks[i]
+	awake  int      // number of set bits
+	timers timerHeap
+}
+
+// add appends a component; w is nil for always-on components, whose bit is
+// set once and never cleared.
+func (ps *phaseSched) add(t Ticker, w *Waker) {
+	idx := len(ps.ticks)
+	ps.ticks = append(ps.ticks, t)
+	ps.wakers = append(ps.wakers, w)
+	if idx>>6 >= len(ps.bits) {
+		ps.bits = append(ps.bits, 0)
+	}
+	if w != nil {
+		w.idx = idx
+	}
+	ps.set(idx) // everything starts awake
+}
+
+func (ps *phaseSched) set(idx int) {
+	word := &ps.bits[idx>>6]
+	mask := uint64(1) << (uint(idx) & 63)
+	if *word&mask == 0 {
+		*word |= mask
+		ps.awake++
+	}
+}
+
+func (ps *phaseSched) clear(idx int) {
+	word := &ps.bits[idx>>6]
+	mask := uint64(1) << (uint(idx) & 63)
+	if *word&mask != 0 {
+		*word &^= mask
+		ps.awake--
+	}
+}
+
+// run executes one cycle of the phase: due timers wake their components,
+// then awake components are ticked in registration order. A component
+// woken mid-walk by an earlier component of the same phase is picked up
+// in the same cycle if its index lies ahead of the walk position, exactly
+// as it would have been under tick-everyone semantics; behind the walk
+// position it is visited next cycle, which is equivalent because a
+// sleeping component's Tick is by contract a no-op.
+func (ps *phaseSched) run(cycle uint64) {
+	for len(ps.timers) > 0 && ps.timers[0].at <= cycle {
+		ent := ps.timers.pop()
+		if w := ps.wakers[ent.idx]; w != nil && w.timerAt == ent.at {
+			w.timerAt = 0
+		}
+		ps.set(ent.idx)
+	}
+	if ps.awake == 0 {
+		return
+	}
+	for wi := range ps.bits {
+		var done uint64
+		for {
+			word := ps.bits[wi] &^ done
+			if word == 0 {
+				break
+			}
+			b := bits.TrailingZeros64(word)
+			// Mark b and every lower bit as passed, not just b itself:
+			// a backward wake (lower index, walk already past it) must
+			// defer to the next cycle — the same-word revisit would
+			// otherwise break registration-order semantics.
+			done |= uint64(1)<<uint(b)<<1 - 1
+			ps.ticks[wi<<6|b].Tick(cycle)
+		}
+	}
 }

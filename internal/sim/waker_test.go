@@ -1,0 +1,202 @@
+package sim
+
+import "testing"
+
+// sleeper ticks, records its visit cycles, and sleeps itself after each
+// tick unless told to stay awake.
+type sleeper struct {
+	w      *Waker
+	visits []uint64
+	stay   bool
+}
+
+func (s *sleeper) Tick(c uint64) {
+	s.visits = append(s.visits, c)
+	if !s.stay {
+		s.w.Sleep()
+	}
+}
+
+func newSleeper(e *Engine, p Phase) *sleeper {
+	s := &sleeper{}
+	s.w = e.RegisterWakeable(p, s)
+	return s
+}
+
+func TestWakeableStartsAwakeThenSleeps(t *testing.T) {
+	e := NewEngine()
+	s := newSleeper(e, PhaseCompute)
+	e.Run(5)
+	if len(s.visits) != 1 || s.visits[0] != 0 {
+		t.Fatalf("visits = %v, want exactly cycle 0", s.visits)
+	}
+	if e.Awake(PhaseCompute) != 0 {
+		t.Fatalf("Awake = %d after sleep", e.Awake(PhaseCompute))
+	}
+}
+
+func TestWakeVisitsNextCycle(t *testing.T) {
+	e := NewEngine()
+	s := newSleeper(e, PhaseCompute)
+	e.Run(3) // visit at 0, then asleep
+	s.w.Wake()
+	e.Run(3)
+	if len(s.visits) != 2 || s.visits[1] != 3 {
+		t.Fatalf("visits = %v, want second visit at cycle 3", s.visits)
+	}
+}
+
+func TestWakeAtFiresAtRequestedCycle(t *testing.T) {
+	e := NewEngine()
+	s := newSleeper(e, PhaseDelivery)
+	e.Run(1)
+	s.w.WakeAt(7)
+	e.Run(10)
+	if len(s.visits) != 2 || s.visits[1] != 7 {
+		t.Fatalf("visits = %v, want second visit at cycle 7", s.visits)
+	}
+}
+
+func TestWakeAtPastDegradesToWake(t *testing.T) {
+	e := NewEngine()
+	s := newSleeper(e, PhaseCompute)
+	e.Run(4)
+	s.w.WakeAt(2) // already in the past: behaves as Wake
+	e.Run(2)
+	if len(s.visits) != 2 || s.visits[1] != 4 {
+		t.Fatalf("visits = %v, want second visit at cycle 4", s.visits)
+	}
+}
+
+func TestWakeAtDedupesAndStaleTimersAreSpurious(t *testing.T) {
+	e := NewEngine()
+	s := newSleeper(e, PhaseCompute)
+	e.Run(1)
+	s.w.WakeAt(5)
+	s.w.WakeAt(5) // duplicate: subsumed by the pending timer
+	s.w.WakeAt(9) // later than pending: subsumed too (5 wakes first anyway)
+	s.w.WakeAt(3) // earlier: becomes the effective deadline; 5 goes stale
+	e.Run(12)
+	want := []uint64{0, 3, 5} // the stale 5 fires as a harmless spurious visit
+	if len(s.visits) != len(want) {
+		t.Fatalf("visits = %v, want %v", s.visits, want)
+	}
+	for i := range want {
+		if s.visits[i] != want[i] {
+			t.Fatalf("visits = %v, want %v", s.visits, want)
+		}
+	}
+}
+
+// TestSameCycleForwardWake verifies the done-mask walk: a component woken
+// by an earlier component of the same phase in the same cycle is visited
+// that cycle when it lies ahead in registration order.
+func TestSameCycleForwardWake(t *testing.T) {
+	e := NewEngine()
+	target := &sleeper{}
+	var earlyW *Waker
+	earlyW = e.RegisterWakeable(PhaseCompute, tickFunc(func(c uint64) {
+		if c == 2 {
+			target.w.Wake() // forward wake: target has a higher index
+		}
+		earlyW.Wake() // stay awake
+	}))
+	target.w = e.RegisterWakeable(PhaseCompute, target)
+	e.Run(4) // target visits cycle 0 (starts awake), sleeps, re-woken at 2
+	want := []uint64{0, 2}
+	if len(target.visits) != len(want) || target.visits[0] != want[0] || target.visits[1] != want[1] {
+		t.Fatalf("forward-woken visits = %v, want %v", target.visits, want)
+	}
+}
+
+// TestBackwardWakeDefersToNextCycle: waking a component whose index the
+// walk has already passed visits it next cycle, not twice this cycle.
+func TestBackwardWakeDefersToNextCycle(t *testing.T) {
+	e := NewEngine()
+	target := newSleeper(e, PhaseCompute) // idx 0
+	var waker *sleeper
+	waker = &sleeper{}
+	waker.w = e.RegisterWakeable(PhaseCompute, tickFunc(func(c uint64) {
+		waker.visits = append(waker.visits, c)
+		if c == 2 {
+			target.w.Wake() // backward: idx 0 already walked this cycle
+		}
+	}))
+	e.Run(4)
+	want := []uint64{0, 3}
+	if len(target.visits) != len(want) || target.visits[0] != want[0] || target.visits[1] != want[1] {
+		t.Fatalf("backward-woken visits = %v, want %v", target.visits, want)
+	}
+}
+
+func TestQuiescentAndRunUntilFastForward(t *testing.T) {
+	e := NewEngine()
+	s := newSleeper(e, PhaseCompute)
+	if e.Quiescent() {
+		t.Fatal("engine quiescent before first tick of an awake component")
+	}
+	e.Run(1)
+	if !e.Quiescent() {
+		t.Fatal("engine not quiescent with every component asleep")
+	}
+	s.w.WakeAt(4)
+	if e.Quiescent() {
+		t.Fatal("engine quiescent with a pending timer")
+	}
+	// RunUntil with an unreachable cond must still burn the whole budget
+	// on the cycle counter (fast-forwarded, not stepped).
+	ok := e.RunUntil(func() bool { return false }, 100)
+	if ok {
+		t.Fatal("RunUntil reported success for unreachable condition")
+	}
+	if e.Cycle() != 101 {
+		t.Fatalf("Cycle() = %d, want 101 (1 stepped + 100 budget)", e.Cycle())
+	}
+	if len(s.visits) != 2 || s.visits[1] != 4 {
+		t.Fatalf("visits = %v, want timer visit at cycle 4 before fast-forward", s.visits)
+	}
+}
+
+func TestAlwaysOnComponentPreventsQuiescence(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Register(PhaseCollect, tickFunc(func(uint64) { n++ }))
+	e.Run(3)
+	if e.Quiescent() {
+		t.Fatal("engine with an always-on component must never be quiescent")
+	}
+	ok := e.RunUntil(func() bool { return false }, 10)
+	if ok || n != 13 {
+		t.Fatalf("always-on component ticked %d times, want 13", n)
+	}
+}
+
+// TestMixedRegistrationOrderPreserved: wakeable and always-on components
+// interleave in strict registration order when all are awake.
+func TestMixedRegistrationOrderPreserved(t *testing.T) {
+	e := NewEngine()
+	var log []int
+	for i := 0; i < 70; i++ { // cross a word boundary in the bitmap
+		id := i
+		if i%2 == 0 {
+			e.Register(PhaseCompute, tickFunc(func(uint64) { log = append(log, id) }))
+		} else {
+			var w *Waker
+			w = e.RegisterWakeable(PhaseCompute, tickFunc(func(uint64) {
+				log = append(log, id)
+				w.Wake() // stay awake
+			}))
+		}
+	}
+	e.Run(2)
+	if len(log) != 140 {
+		t.Fatalf("got %d visits, want 140", len(log))
+	}
+	for c := 0; c < 2; c++ {
+		for i := 0; i < 70; i++ {
+			if log[c*70+i] != i {
+				t.Fatalf("cycle %d: visit order %v not registration order", c, log[c*70:c*70+70])
+			}
+		}
+	}
+}

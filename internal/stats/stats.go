@@ -118,7 +118,12 @@ func (c *Collector) OnEjected(p *noc.Packet, cycle uint64) {
 	}
 	c.ejectedMeasured++
 	lat := p.Latency()
-	if len(c.lat) < c.reservoirCap() {
+	if rc := c.reservoirCap(); len(c.lat) < rc {
+		if c.lat == nil {
+			// Reserve the whole reservoir up front: one allocation per
+			// run instead of a geometric growth series on the hot path.
+			c.lat = make([]uint64, 0, rc)
+		}
 		c.lat = append(c.lat, lat)
 	}
 	c.latencySum += float64(lat)

@@ -61,6 +61,7 @@ type Bernoulli struct {
 	// drain phase).
 	Stop uint64
 
+	pool   *noc.Pool
 	nextID uint64
 }
 
@@ -97,6 +98,14 @@ func (b *Bernoulli) SetSizes(d SizeDist) {
 	b.prob = rate / d.Mean()
 }
 
+// UsePool implements router.PoolUser: packets are drawn from the source's
+// freelist so steady-state generation allocates nothing.
+//
+// Bernoulli deliberately does NOT implement router.NextWaker: it draws
+// randomness every cycle, so its source must tick every cycle to keep the
+// RNG stream — and with it every simulated outcome — bit-for-bit stable.
+func (b *Bernoulli) UsePool(pl *noc.Pool) { b.pool = pl }
+
 // Generate implements router.Generator.
 func (b *Bernoulli) Generate(cycle uint64) *noc.Packet {
 	if b.Stop != 0 && cycle >= b.Stop {
@@ -119,13 +128,16 @@ func (b *Bernoulli) Generate(cycle uint64) *noc.Packet {
 	if b.sizes != nil {
 		flits = b.sizes.sample(b.rng)
 	}
-	return &noc.Packet{
-		// Globally unique across sources: high bits carry the source.
-		ID:       uint64(b.src)<<40 | b.nextID,
-		Src:      b.src,
-		Dst:      dst,
-		NumFlits: flits,
-		Class:    class,
-		Measure:  cycle >= b.MeasureFrom && cycle < b.MeasureTo,
+	p := &noc.Packet{}
+	if b.pool != nil {
+		p = b.pool.Get()
 	}
+	// Globally unique across sources: high bits carry the source.
+	p.ID = uint64(b.src)<<40 | b.nextID
+	p.Src = b.src
+	p.Dst = dst
+	p.NumFlits = flits
+	p.Class = class
+	p.Measure = cycle >= b.MeasureFrom && cycle < b.MeasureTo
+	return p
 }

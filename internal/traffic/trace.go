@@ -79,9 +79,27 @@ type Replay struct {
 	entries  []TraceEntry
 	next     int
 	nextID   uint64
+	pool     *noc.Pool
 
 	// MeasureFrom / MeasureTo bound the measurement window.
 	MeasureFrom, MeasureTo uint64
+}
+
+// UsePool implements router.PoolUser.
+func (r *Replay) UsePool(pl *noc.Pool) { r.pool = pl }
+
+// NextPending implements router.NextWaker: a replay's schedule is fully
+// known in advance and draws no randomness, so its source may sleep
+// through the gaps between entries without disturbing anything.
+func (r *Replay) NextPending(from uint64) (uint64, bool) {
+	if r.next >= len(r.entries) {
+		return 0, false
+	}
+	at := r.entries[r.next].Cycle
+	if at < from {
+		at = from
+	}
+	return at, true
 }
 
 // Generate implements router.Generator.
@@ -100,14 +118,17 @@ func (r *Replay) Generate(cycle uint64) *noc.Packet {
 	if r.classify != nil {
 		class = r.classify(e.Src, e.Dst)
 	}
-	return &noc.Packet{
-		ID:       uint64(r.src)<<40 | r.nextID,
-		Src:      e.Src,
-		Dst:      e.Dst,
-		NumFlits: flits,
-		Class:    class,
-		Measure:  cycle >= r.MeasureFrom && cycle < r.MeasureTo,
+	p := &noc.Packet{}
+	if r.pool != nil {
+		p = r.pool.Get()
 	}
+	p.ID = uint64(r.src)<<40 | r.nextID
+	p.Src = e.Src
+	p.Dst = e.Dst
+	p.NumFlits = flits
+	p.Class = class
+	p.Measure = cycle >= r.MeasureFrom && cycle < r.MeasureTo
+	return p
 }
 
 // Done reports whether the replay has emitted every entry.

@@ -63,7 +63,7 @@ func BuildP2P(n *fabric.Network, tx, rx Endpoint, o LinkOpts) *sbus.Channel {
 	tx.Router.ConnectOutput(tx.Port, w, o.txDepth(), 1)
 	r := ch.AddRx(rx.Router, rx.Port, o.NumVCs, o.BufDepth)
 	rx.Router.ConnectInput(rx.Port, r)
-	n.Eng.Register(sim.PhaseDelivery, ch)
+	ch.SetWaker(n.Eng.RegisterWakeable(sim.PhaseDelivery, ch))
 	n.TrackChannel(ch)
 	n.NoteEdge(tx.Router.Cfg.ID, rx.Router.Cfg.ID, "wireless")
 	return ch
@@ -96,7 +96,7 @@ func BuildSWMR(n *fabric.Network, txs, rxs []Endpoint, selectRx func(p *noc.Pack
 		r := ch.AddRx(rx.Router, rx.Port, o.NumVCs, o.BufDepth)
 		rx.Router.ConnectInput(rx.Port, r)
 	}
-	n.Eng.Register(sim.PhaseDelivery, ch)
+	ch.SetWaker(n.Eng.RegisterWakeable(sim.PhaseDelivery, ch))
 	n.TrackChannel(ch)
 	for _, tx := range txs {
 		for _, rx := range rxs {
