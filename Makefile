@@ -36,23 +36,28 @@ race:
 # smoke exercises the observability path end to end: a short traced
 # single run, an instrumented sweep, and a live-telemetry run whose
 # /metrics endpoint is scraped mid-flight (obscheck -scrape, no curl
-# needed), then cmd/obscheck verifies that every emitted artifact
-# (metrics CSV/NDJSON, trace JSON/NDJSON, run manifests, energy
-# attribution CSV, heatmap CSV/SVG, Prometheus scrape) actually parses.
-# Set SMOKEDIR to keep the artifacts (CI uploads them); by default a
-# temp dir is used and removed.
+# needed) with required scheduler/pool series, whose pprof endpoint
+# serves a cpu profile sample, then cmd/obscheck verifies that every
+# emitted artifact (metrics CSV/NDJSON, trace JSON/NDJSON, run
+# manifests, energy attribution CSV, heatmap CSV/SVG, latency-breakdown
+# CSV/NDJSON/SVG with the span sum identity, Prometheus scrape)
+# actually parses. Set SMOKEDIR to keep the artifacts (CI uploads
+# them); by default a temp dir is used and removed.
 smoke:
 	@dir="$(SMOKEDIR)"; \
 	if [ -z "$$dir" ]; then dir=$$(mktemp -d); trap "rm -rf $$dir" EXIT; else mkdir -p "$$dir"; fi; \
 	set -e; \
 	$(GO) run ./cmd/ownsim -cores 256 -warmup 200 -measure 800 -seed 1 \
 		-metrics $$dir/run.csv -trace $$dir/run.json -sample 4 \
+		-latency-breakdown $$dir/breakdown \
 		-manifest $$dir/run-manifest.json >/dev/null; \
 	$(GO) run ./cmd/sweep -topo own -cores 256 -points 2 -warmup 200 -measure 800 \
 		-metrics $$dir/sweep.ndjson -trace $$dir/sweep-trace.ndjson -sample 4 \
+		-latency-breakdown $$dir/sweep-breakdown \
 		-manifest $$dir/sweep-manifest.json >/dev/null 2>&1; \
 	$(GO) run ./cmd/ownsim -cores 256 -warmup 200 -measure 600000 -seed 1 \
-		-listen 127.0.0.1:0 -energy $$dir/energy.csv -heatmap $$dir/heat \
+		-listen 127.0.0.1:0 -pprof -energy $$dir/energy.csv -heatmap $$dir/heat \
+		-latency-breakdown $$dir/live-breakdown \
 		-reservoir 4096 -manifest $$dir/live-manifest.json \
 		>/dev/null 2>$$dir/live.log & pid=$$!; \
 	url=""; for i in $$(seq 1 100); do \
@@ -60,22 +65,28 @@ smoke:
 		[ -n "$$url" ] && break; sleep 0.1; done; \
 	if [ -z "$$url" ]; then echo "smoke: live telemetry address never appeared"; \
 		cat $$dir/live.log; kill $$pid 2>/dev/null; exit 1; fi; \
-	$(GO) run ./cmd/obscheck -scrape $$url -o $$dir/smoke.prom; \
+	$(GO) run ./cmd/obscheck -scrape $$url -o $$dir/smoke.prom \
+		-require ownsim_engine_compute_ticks -require ownsim_pool_gets; \
+	base=$${url%/metrics}; \
+	$(GO) run ./cmd/obscheck -fetch "$$base/debug/pprof/profile?seconds=1" -o $$dir/profile.pb.gz; \
 	wait $$pid; \
 	$(GO) run ./cmd/obscheck $$dir/run.csv $$dir/run.json $$dir/run-manifest.json \
 		$$dir/sweep.ndjson $$dir/sweep-trace.ndjson $$dir/sweep-manifest.json \
 		$$dir/smoke.prom $$dir/energy.csv $$dir/live-manifest.json \
 		$$dir/heat_congestion.csv $$dir/heat_congestion.svg \
-		$$dir/heat_energy.csv $$dir/heat_energy.svg
+		$$dir/heat_energy.csv $$dir/heat_energy.svg \
+		$$dir/breakdown.csv $$dir/breakdown.ndjson $$dir/breakdown.svg \
+		$$dir/sweep-breakdown.csv $$dir/sweep-breakdown.ndjson $$dir/sweep-breakdown.svg \
+		$$dir/live-breakdown.csv $$dir/live-breakdown.ndjson $$dir/live-breakdown.svg
 
 # bench runs the simulator microbenchmarks (engine hot path, packet
 # pooling, end-to-end uniform-traffic runs) with allocation reporting.
 # Set BENCHOUT to also capture the raw output for bench-compare.
 bench:
 	@if [ -n "$(BENCHOUT)" ]; then \
-		$(GO) test -run XXX -bench . -benchmem . | tee "$(BENCHOUT)"; \
+		$(GO) test -run '^$$' -bench . -benchmem . | tee "$(BENCHOUT)"; \
 	else \
-		$(GO) test -run XXX -bench . -benchmem .; \
+		$(GO) test -run '^$$' -bench . -benchmem .; \
 	fi
 
 # bench-compare re-runs the benchmarks and gates allocs/op against the

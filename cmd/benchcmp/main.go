@@ -3,16 +3,19 @@
 // benchmark's allocs/op regresses. allocs/op is deterministic for these
 // benchmarks — the simulator is single-goroutine and fixed-seed — so it
 // is gated strictly. ns/op and B/op vary with hardware and Go version,
-// so they are reported but never gate.
+// so by default they are reported but never gate; -max-ns-ratio opts
+// into a loose wall-time gate for CI environments whose hardware is
+// stable enough to bound it.
 //
 // Usage:
 //
-//	go test -run XXX -bench . -benchmem . | tee bench.txt
+//	go test -run '^$' -bench . -benchmem . | tee bench.txt
 //	go run ./cmd/benchcmp -baseline BENCH_BASELINE.txt bench.txt
 //
 // Exit status is non-zero when any baseline benchmark is missing from
-// the new output or its allocs/op exceeds the baseline by more than
-// -allow-allocs-pct percent (default 0: any increase fails).
+// the new output, its allocs/op exceeds the baseline by more than
+// -allow-allocs-pct percent (default 0: any increase fails), or — with
+// -max-ns-ratio R set — its ns/op exceeds R times the baseline.
 package main
 
 import (
@@ -99,9 +102,14 @@ func ratio(new, old float64) string {
 func main() {
 	baseline := flag.String("baseline", "BENCH_BASELINE.txt", "baseline benchmark output to compare against")
 	allowPct := flag.Float64("allow-allocs-pct", 0, "allowed allocs/op increase in percent before failing")
+	maxNsRatio := flag.Float64("max-ns-ratio", 0, "fail when ns/op exceeds this multiple of the baseline (0 = ns/op never gates, the default)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: benchcmp [-baseline FILE] [-allow-allocs-pct N] NEW_BENCH_OUTPUT")
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-baseline FILE] [-allow-allocs-pct N] [-max-ns-ratio R] NEW_BENCH_OUTPUT")
+		os.Exit(2)
+	}
+	if *maxNsRatio < 0 || (*maxNsRatio > 0 && *maxNsRatio < 1) {
+		fmt.Fprintln(os.Stderr, "benchcmp: -max-ns-ratio must be 0 (disabled) or >= 1")
 		os.Exit(2)
 	}
 
@@ -144,6 +152,10 @@ func main() {
 			}
 		} else if old.allocs >= 0 && cur.allocs < 0 {
 			verdict = "FAIL new output missing allocs/op (run with -benchmem)"
+			failed = true
+		}
+		if *maxNsRatio > 0 && old.nsOp > 0 && cur.nsOp > old.nsOp**maxNsRatio {
+			verdict = "FAIL ns/op regressed"
 			failed = true
 		}
 		fmt.Printf("%-8s %-28s ns/op %12.4g -> %12.4g (%s)  allocs/op %6.4g -> %6.4g (%s)\n",

@@ -8,15 +8,26 @@
 // CI so a formatting regression in the probe exporters cannot land
 // silently.
 //
+// Latency-breakdown CSVs (recognized by the probe.SpanCSVHeader header)
+// must satisfy the span sum identity exactly: the per-phase cycles
+// column sums — integer equality, no tolerance — to the final total row.
+//
 // With -scrape it first fetches a live /metrics endpoint (retrying while
 // the serving simulation starts up), validates the body as Prometheus
 // text and optionally saves it with -o — this is how the smoke test
-// exercises the live telemetry plane without needing curl.
+// exercises the live telemetry plane without needing curl. Repeatable
+// -require flags name Prometheus series that must be present with a
+// nonzero value; the scrape retries until every requirement is met, so
+// cumulative counters that start at zero get time to move. -fetch
+// retrieves one more URL raw (any non-empty 200 body, e.g. a pprof
+// profile) and saves it to the -o path when -scrape is absent.
 //
 // Usage:
 //
 //	obscheck trace.json metrics.csv manifest.json events.ndjson
-//	obscheck -scrape http://127.0.0.1:9090/metrics -o smoke.prom
+//	obscheck -scrape http://127.0.0.1:9090/metrics -o smoke.prom \
+//	    -require ownsim_engine_compute_ticks -require ownsim_pool_gets
+//	obscheck -fetch 'http://127.0.0.1:9090/debug/pprof/profile?seconds=1' -o cpu.pb.gz
 package main
 
 import (
@@ -36,24 +47,37 @@ import (
 	"time"
 
 	"ownsim/internal/power"
+	"ownsim/internal/probe"
 	"ownsim/internal/stats"
 )
+
+// stringList collects a repeatable string flag.
+type stringList []string
+
+func (l *stringList) String() string { return strings.Join(*l, ",") }
+
+func (l *stringList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("obscheck: ")
 	scrape := flag.String("scrape", "", "fetch this URL (retrying while the target starts) and validate the body as Prometheus text")
-	out := flag.String("o", "", "with -scrape: write the fetched body to this file")
+	out := flag.String("o", "", "write the -scrape (or, without -scrape, the -fetch) body to this file")
+	fetch := flag.String("fetch", "", "fetch this URL raw (retrying; any non-empty 200 body passes, e.g. a pprof profile)")
+	var require stringList
+	flag.Var(&require, "require", "with -scrape: require this Prometheus series to be present and nonzero (repeatable; retries until satisfied)")
 	flag.Parse()
-	if *scrape == "" && flag.NArg() == 0 {
-		log.Fatal("usage: obscheck [-scrape URL [-o FILE]] file...")
+	if *scrape == "" && *fetch == "" && flag.NArg() == 0 {
+		log.Fatal("usage: obscheck [-scrape URL [-require NAME]... [-o FILE]] [-fetch URL [-o FILE]] file...")
+	}
+	if *scrape == "" && len(require) > 0 {
+		log.Fatal("-require needs -scrape")
 	}
 	if *scrape != "" {
-		b, err := scrapeURL(*scrape)
-		if err != nil {
-			log.Fatalf("scrape %s: %v", *scrape, err)
-		}
-		n, err := checkProm(b)
+		b, n, err := scrapeProm(*scrape, require)
 		if err != nil {
 			log.Fatalf("scrape %s: %v", *scrape, err)
 		}
@@ -62,7 +86,19 @@ func main() {
 				log.Fatal(err)
 			}
 		}
-		fmt.Printf("ok %s (%d samples)\n", *scrape, n)
+		fmt.Printf("ok %s (%d samples, %d required)\n", *scrape, n, len(require))
+	}
+	if *fetch != "" {
+		b, err := fetchURL(*fetch)
+		if err != nil {
+			log.Fatalf("fetch %s: %v", *fetch, err)
+		}
+		if *scrape == "" && *out != "" {
+			if err := os.WriteFile(*out, b, 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("ok %s (%d bytes)\n", *fetch, len(b))
 	}
 	for _, path := range flag.Args() {
 		n, err := check(path)
@@ -73,9 +109,9 @@ func main() {
 	}
 }
 
-// scrapeURL fetches url, retrying for a few seconds so the caller can
+// fetchURL fetches url, retrying for a few seconds so the caller can
 // race obscheck against a simulation that is still binding its listener.
-func scrapeURL(url string) ([]byte, error) {
+func fetchURL(url string) ([]byte, error) {
 	var lastErr error
 	for attempt := 0; attempt < 50; attempt++ {
 		resp, err := http.Get(url)
@@ -99,6 +135,65 @@ func scrapeURL(url string) ([]byte, error) {
 		time.Sleep(100 * time.Millisecond)
 	}
 	return nil, lastErr
+}
+
+// scrapeProm fetches a /metrics endpoint, validates the exposition and
+// retries until every required series is present with a nonzero value —
+// cumulative counters published at the first sampling window may
+// legitimately still read zero on early scrapes.
+func scrapeProm(url string, require []string) ([]byte, int, error) {
+	var lastErr error
+	for attempt := 0; attempt < 50; attempt++ {
+		b, err := fetchURL(url)
+		if err != nil {
+			return nil, 0, err
+		}
+		n, err := checkProm(b)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := checkRequired(b, require); err != nil {
+			lastErr = err
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		return b, n, nil
+	}
+	return nil, 0, lastErr
+}
+
+// checkRequired verifies each required series appears as a sample with a
+// nonzero value in the exposition.
+func checkRequired(b []byte, require []string) error {
+	for _, name := range require {
+		found, nonzero := false, false
+		sc := bufio.NewScanner(strings.NewReader(string(b)))
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "#") {
+				continue
+			}
+			sname, value, ok := strings.Cut(line, " ")
+			if !ok || sname != name {
+				continue
+			}
+			found = true
+			// Required series are cumulative counters, so "nonzero"
+			// means strictly positive (also keeps the check free of
+			// exact float equality).
+			if v, err := strconv.ParseFloat(strings.TrimSpace(value), 64); err == nil && v > 0 {
+				nonzero = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("required series %q absent", name)
+		}
+		if !nonzero {
+			return fmt.Errorf("required series %q is zero", name)
+		}
+	}
+	return nil
 }
 
 func unit(path string) string {
@@ -162,7 +257,55 @@ func checkCSV(b []byte) (int, error) {
 			return 0, err
 		}
 	}
+	if isBreakdownHeader(recs[0]) {
+		if err := checkBreakdownCSV(recs); err != nil {
+			return 0, err
+		}
+	}
 	return len(recs) - 1, nil
+}
+
+// isBreakdownHeader recognizes the latency-breakdown artifact by its
+// header so the sum identity applies regardless of file name.
+func isBreakdownHeader(rec []string) bool {
+	if len(rec) != len(probe.SpanCSVHeader) {
+		return false
+	}
+	for i, col := range probe.SpanCSVHeader {
+		if rec[i] != col {
+			return false
+		}
+	}
+	return true
+}
+
+// checkBreakdownCSV enforces the span sum identity: the phase rows'
+// cycles column must sum — exact integer equality — to the final total
+// row, which must be last.
+func checkBreakdownCSV(recs [][]string) error {
+	last := recs[len(recs)-1]
+	if last[0] != "total" {
+		return fmt.Errorf("breakdown CSV: last row is %q, want the total row", last[0])
+	}
+	var sum, total uint64
+	for i, rec := range recs[1:] {
+		v, err := strconv.ParseUint(rec[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("breakdown CSV row %d: bad cycles %q", i+1, rec[2])
+		}
+		if rec[0] == "total" {
+			if i != len(recs)-2 {
+				return fmt.Errorf("breakdown CSV: total row is not last")
+			}
+			total = v
+		} else {
+			sum += v
+		}
+	}
+	if sum != total {
+		return fmt.Errorf("breakdown CSV: phase cycles sum to %d but total row says %d", sum, total)
+	}
+	return nil
 }
 
 // isEnergyHeader recognizes the energy attribution artifact by its

@@ -52,6 +52,8 @@ func main() {
 	listen := flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /events) on this address during the run (e.g. :9090; port 0 picks a free port)")
 	energyPath := flag.String("energy", "", "write the per-component energy attribution to this path (CSV) and print the breakdown table")
 	heatmap := flag.String("heatmap", "", "write congestion and wireless-energy heatmaps (CSV+SVG) with this path prefix (implies -percomponent)")
+	breakdown := flag.String("latency-breakdown", "", "write the per-phase latency attribution (CSV+NDJSON+stacked-bar SVG) with this path prefix")
+	pprofFlag := flag.Bool("pprof", false, "mount Go runtime profiling under /debug/pprof/ on the -listen server")
 	reservoir := flag.Int("reservoir", 0, "exact-percentile latency reservoir size in packets (0 = default 65536)")
 	flag.Parse()
 
@@ -104,13 +106,19 @@ func main() {
 		}
 		fmt.Printf("wrote topology graph to %s\n", *dot)
 	}
+	if *pprofFlag && *listen == "" {
+		log.Fatal("-pprof requires -listen")
+	}
 	var pb *probe.Probe
-	if *metrics != "" || *trace != "" || *listen != "" || *heatmap != "" {
+	if *metrics != "" || *trace != "" || *listen != "" || *heatmap != "" || *breakdown != "" {
 		if *sample == 0 {
 			log.Fatal("-sample must be >= 1")
 		}
 		// Heatmaps need per-router counters to resolve congestion per tile.
-		opts := probe.Options{PerComponent: *percomp || *heatmap != ""}
+		opts := probe.Options{
+			PerComponent: *percomp || *heatmap != "",
+			Spans:        *breakdown != "",
+		}
 		if *metrics != "" || *listen != "" {
 			if *window == 0 {
 				log.Fatal("-window must be >= 1")
@@ -131,6 +139,9 @@ func main() {
 	if *listen != "" {
 		srv = obs.New()
 		srv.Attach(pb)
+		if *pprofFlag {
+			srv.EnablePprof()
+		}
 		addr, err := srv.Start(*listen)
 		if err != nil {
 			log.Fatal(err)
@@ -189,6 +200,8 @@ func main() {
 			Cycles:  n.Eng.Cycle(),
 			Summary: &sum,
 		}
+		ei, pi := n.EngineIntro(), n.PoolIntro()
+		man.Engine, man.Pools = &ei, &pi
 	}
 	if pb != nil {
 		if err := probe.EmitFiles(pb, *metrics, *trace, man); err != nil {
@@ -216,6 +229,16 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("heatmaps:    %s\n", strings.Join(files, ", "))
+	}
+	if *breakdown != "" {
+		files, err := obs.EmitLatencyBreakdown(n, *breakdown, man)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("breakdown:   %s\n", strings.Join(files, ", "))
+		if mm := pb.Spans().Mismatches(); mm > 0 {
+			fmt.Printf("  WARNING: %d packets failed the span sum identity\n", mm)
+		}
 	}
 	if man != nil {
 		if err := probe.WriteManifestFile(man, *manifest); err != nil {

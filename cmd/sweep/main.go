@@ -65,6 +65,8 @@ func main() {
 	listen := flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /events) on this address during the instrumented re-run (single -topo; port 0 picks a free port)")
 	energyPath := flag.String("energy", "", "write the instrumented point's per-component energy attribution CSV to this path (single -topo)")
 	heatmap := flag.String("heatmap", "", "write the instrumented point's congestion and wireless-energy heatmaps (CSV+SVG) with this path prefix (single -topo)")
+	breakdown := flag.String("latency-breakdown", "", "write the instrumented point's per-phase latency attribution (CSV+NDJSON+stacked-bar SVG) with this path prefix (single -topo)")
+	pprofFlag := flag.Bool("pprof", false, "mount Go runtime profiling under /debug/pprof/ on the -listen server")
 	reservoir := flag.Int("reservoir", 0, "exact-percentile latency reservoir size in packets per run (0 = default 65536)")
 	flag.Parse()
 
@@ -77,9 +79,12 @@ func main() {
 		names = []string{*topo}
 	}
 	instrumented := *telemetry > 0 || *metrics != "" || *trace != "" ||
-		*listen != "" || *energyPath != "" || *heatmap != ""
+		*listen != "" || *energyPath != "" || *heatmap != "" || *breakdown != ""
 	if (instrumented || *dot != "") && *topo == "all" {
-		log.Fatal("-telemetry, -dot, -metrics, -trace, -listen, -energy and -heatmap need a single -topo")
+		log.Fatal("-telemetry, -dot, -metrics, -trace, -listen, -energy, -heatmap and -latency-breakdown need a single -topo")
+	}
+	if *pprofFlag && *listen == "" {
+		log.Fatal("-pprof requires -listen")
 	}
 	if *sample == 0 || *window == 0 {
 		log.Fatal("-sample and -window must be >= 1")
@@ -161,7 +166,10 @@ func main() {
 		}
 		if instrumented {
 			// Heatmaps need per-router counters for per-tile congestion.
-			opts := probe.Options{PerComponent: *heatmap != ""}
+			opts := probe.Options{
+				PerComponent: *heatmap != "",
+				Spans:        *breakdown != "",
+			}
 			if *metrics != "" || *listen != "" {
 				opts.MetricsEvery = *window
 			}
@@ -177,6 +185,9 @@ func main() {
 			if *listen != "" {
 				srv = obs.New()
 				srv.Attach(pb)
+				if *pprofFlag {
+					srv.EnablePprof()
+				}
 				addr, err := srv.Start(*listen)
 				if err != nil {
 					log.Fatal(err)
@@ -215,6 +226,20 @@ func main() {
 					log.Fatal(err)
 				}
 				fmt.Fprintf(os.Stderr, "sweep: wrote heatmaps: %s\n", strings.Join(files, ", "))
+			}
+			if *breakdown != "" {
+				files, err := obs.EmitLatencyBreakdown(n, *breakdown, man)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Fprintf(os.Stderr, "sweep: wrote latency breakdown: %s\n", strings.Join(files, ", "))
+				if mm := pb.Spans().Mismatches(); mm > 0 {
+					fmt.Fprintf(os.Stderr, "sweep: WARNING: %d packets failed the span sum identity\n", mm)
+				}
+			}
+			if man != nil {
+				ei, pi := n.EngineIntro(), n.PoolIntro()
+				man.Engine, man.Pools = &ei, &pi
 			}
 		}
 	}

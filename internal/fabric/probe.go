@@ -30,8 +30,8 @@ func (n *Network) InstallProbe(p *probe.Probe) {
 	if s := p.Sampler(); s != nil {
 		n.Eng.Register(sim.PhaseCollect, s)
 	}
-	if t := p.Tracer(); t != nil {
-		n.installTraceHooks(t)
+	if t, sp := p.Tracer(), p.Spans(); t != nil || sp != nil {
+		n.installPacketHooks(t, sp)
 	}
 }
 
@@ -160,6 +160,81 @@ func (n *Network) registerMetrics(p *probe.Probe) {
 			})
 		}
 	}
+
+	// Engine-scheduler and packet-pool introspection: cumulative gauges
+	// over state the scheduler and pools already maintain, registered
+	// after the simulation metrics so established artifact columns keep
+	// their positions.
+	eng := n.Eng
+	reg.Gauge("engine.fast_forwarded_cy", func() float64 { return float64(eng.FastForwarded()) })
+	for _, ph := range []sim.Phase{sim.PhaseDelivery, sim.PhaseCompute, sim.PhaseCollect} {
+		ph := ph
+		base := "engine." + ph.String()
+		reg.Gauge(base+".ticks", func() float64 { return float64(eng.PhaseStats(ph).Ticks) })
+		reg.Gauge(base+".wakes_event", func() float64 { return float64(eng.PhaseStats(ph).WakesEvent) })
+		reg.Gauge(base+".wakes_timer", func() float64 { return float64(eng.PhaseStats(ph).WakesTimer) })
+		reg.Gauge(base+".wakes_spurious", func() float64 { return float64(eng.PhaseStats(ph).WakesSpurious) })
+		reg.Gauge(base+".awake_cy", func() float64 { return float64(eng.PhaseStats(ph).AwakeCycleSum) })
+		reg.Gauge(base+".timer_heap_max", func() float64 { return float64(eng.PhaseStats(ph).TimerHeapMax) })
+	}
+	reg.Gauge("pool.gets", func() float64 { return float64(n.PoolIntro().Gets) })
+	reg.Gauge("pool.fresh", func() float64 { return float64(n.PoolIntro().Fresh) })
+	reg.Gauge("pool.recycled", func() float64 { return float64(n.PoolIntro().Recycled) })
+	reg.Gauge("pool.high_water", func() float64 { return float64(n.PoolIntro().HighWater) })
+
+	// Latency attribution totals, present only when span decomposition
+	// is on: cumulative per-phase cycle counts plus the identity inputs
+	// (packets, summed latency, mismatches — the last must stay zero).
+	if sp := p.Spans(); sp != nil {
+		reg.Gauge("span.packets", func() float64 { return float64(sp.Packets()) })
+		reg.Gauge("span.latency_cy", func() float64 { return float64(sp.LatencyCycles()) })
+		reg.Gauge("span.mismatches", func() float64 { return float64(sp.Mismatches()) })
+		for ph := probe.SpanPhase(0); ph < probe.NumSpanPhases; ph++ {
+			ph := ph
+			reg.Gauge("span."+ph.String()+"_cy", func() float64 { return float64(sp.PhaseCycles(ph)) })
+		}
+	}
+}
+
+// EngineIntro snapshots the engine's scheduler counters for the run
+// manifest.
+func (n *Network) EngineIntro() probe.EngineIntro {
+	ei := probe.EngineIntro{
+		Cycles:          n.Eng.Cycle(),
+		FastForwardedCy: n.Eng.FastForwarded(),
+	}
+	for _, ph := range []sim.Phase{sim.PhaseDelivery, sim.PhaseCompute, sim.PhaseCollect} {
+		st := n.Eng.PhaseStats(ph)
+		ei.Phases = append(ei.Phases, probe.PhaseIntro{
+			Phase:         ph.String(),
+			Ticks:         st.Ticks,
+			WakesEvent:    st.WakesEvent,
+			WakesTimer:    st.WakesTimer,
+			WakesSpurious: st.WakesSpurious,
+			AwakeCycleSum: st.AwakeCycleSum,
+			TimerHeapMax:  st.TimerHeapMax,
+		})
+	}
+	return ei
+}
+
+// PoolIntro aggregates the packet-pool counters over every source pool;
+// HighWater sums the per-pool high-water marks, an upper bound on the
+// network-wide in-flight packet peak (the per-pool peaks need not
+// coincide).
+func (n *Network) PoolIntro() probe.PoolIntro {
+	var pi probe.PoolIntro
+	for _, s := range n.Sources {
+		if s == nil {
+			continue
+		}
+		pl := s.Pool()
+		pi.Gets += pl.Gets
+		pi.Fresh += pl.News
+		pi.Recycled += pl.Recycled
+		pi.HighWater += pl.HighWater
+	}
+	return pi
 }
 
 // RouterLabels returns one display label per router, index-aligned with
@@ -194,23 +269,43 @@ func channelLabel(ch *sbus.Channel) string {
 	return ch.Kind + "." + ch.Name
 }
 
-// installTraceHooks attaches per-packet lifecycle observers to every
-// source, sink, router and shared channel. Components are registered
-// with the tracer in deterministic order (sources, sinks, routers,
-// channels, each in index order), so thread IDs — and therefore the
-// exported trace bytes — are reproducible.
-func (n *Network) installTraceHooks(t *probe.Tracer) {
+// channelTransit maps a shared channel to the span phase its flight
+// time is attributed to: the medium kind, refined for wireless channels
+// by the link-distance class the builders stamp on them.
+func channelTransit(ch *sbus.Channel) probe.SpanPhase {
+	switch ch.Kind {
+	case "photonic":
+		return probe.SpanPhotonic
+	case "wireless":
+		return probe.WirelessSpanPhase(ch.Class)
+	}
+	return probe.SpanElec
+}
+
+// installPacketHooks attaches per-packet lifecycle observers to every
+// source, sink, router and shared channel, feeding the trace sampler
+// and/or the latency-attribution tracker (either may be nil; the
+// tracer's Sampled and every SpanTracker method tolerate it). Components
+// are registered with the tracer in deterministic order (sources,
+// sinks, routers, channels, each in index order), so thread IDs — and
+// therefore the exported trace bytes — are reproducible.
+func (n *Network) installPacketHooks(t *probe.Tracer, sp *probe.SpanTracker) {
 	for id, src := range n.Sources {
 		if src == nil {
 			continue
 		}
-		cid := t.Component(fmt.Sprintf("src.%d", id))
+		cid := 0
+		if t != nil {
+			cid = t.Component(fmt.Sprintf("src.%d", id))
+		}
 		src.OnEnqueue = func(p *noc.Packet, cycle uint64) {
+			sp.Enqueue(p, cycle)
 			if t.Sampled(p.ID) {
 				t.Emit(cycle, cid, probe.EvEnqueue, p, 0)
 			}
 		}
 		src.OnInject = func(p *noc.Packet, cycle uint64) {
+			sp.Inject(p, cycle)
 			if t.Sampled(p.ID) {
 				t.Emit(cycle, cid, probe.EvInject, p, 0)
 			}
@@ -220,44 +315,65 @@ func (n *Network) installTraceHooks(t *probe.Tracer) {
 		if snk == nil {
 			continue
 		}
-		cid := t.Component(fmt.Sprintf("sink.%d", id))
+		cid := 0
+		if t != nil {
+			cid = t.Component(fmt.Sprintf("sink.%d", id))
+		}
 		snk.OnEject = func(p *noc.Packet, cycle uint64) {
+			sp.Eject(p, cycle)
 			if t.Sampled(p.ID) {
 				t.Emit(cycle, cid, probe.EvEject, p, 0)
 			}
 		}
 	}
 	for _, r := range n.Routers {
-		cid := t.Component(fmt.Sprintf("router.%d", r.Cfg.ID))
-		r.OnRoute = func(cycle uint64, p *noc.Packet, inPort, outPort int) {
-			if t.Sampled(p.ID) {
-				t.Emit(cycle, cid, probe.EvRoute, p, outPort)
-			}
+		cid := 0
+		if t != nil {
+			cid = t.Component(fmt.Sprintf("router.%d", r.Cfg.ID))
 		}
-		r.OnVCAlloc = func(cycle uint64, p *noc.Packet, outPort, outVC int) {
-			if t.Sampled(p.ID) {
-				t.Emit(cycle, cid, probe.EvVCAlloc, p, outVC)
+		if t != nil {
+			r.OnRoute = func(cycle uint64, p *noc.Packet, inPort, outPort int) {
+				if t.Sampled(p.ID) {
+					t.Emit(cycle, cid, probe.EvRoute, p, outPort)
+				}
+			}
+			r.OnVCAlloc = func(cycle uint64, p *noc.Packet, outPort, outVC int) {
+				if t.Sampled(p.ID) {
+					t.Emit(cycle, cid, probe.EvVCAlloc, p, outVC)
+				}
 			}
 		}
 		r.OnSwitch = func(cycle uint64, f *noc.Flit, inPort, outPort int) {
+			sp.Switch(cycle, f)
 			if f.IsHead() && t.Sampled(f.Pkt.ID) {
 				t.Emit(cycle, cid, probe.EvSwitch, f.Pkt, outPort)
 			}
 		}
 	}
 	for _, ch := range n.Channels {
-		cid := t.Component(channelLabel(ch))
-		ch.OnAcquire = func(cycle uint64, p *noc.Packet, tokenCostCy int) {
-			if t.Sampled(p.ID) {
-				t.Emit(cycle, cid, probe.EvTokenAcquire, p, tokenCostCy)
+		cid := 0
+		if t != nil {
+			cid = t.Component(channelLabel(ch))
+		}
+		if t != nil {
+			ch.OnAcquire = func(cycle uint64, p *noc.Packet, tokenCostCy int) {
+				if t.Sampled(p.ID) {
+					t.Emit(cycle, cid, probe.EvTokenAcquire, p, tokenCostCy)
+				}
+			}
+			ch.OnRelease = func(cycle uint64, p *noc.Packet) {
+				if t.Sampled(p.ID) {
+					t.Emit(cycle, cid, probe.EvTokenRelease, p, 0)
+				}
 			}
 		}
-		ch.OnRelease = func(cycle uint64, p *noc.Packet) {
-			if t.Sampled(p.ID) {
-				t.Emit(cycle, cid, probe.EvTokenRelease, p, 0)
-			}
-		}
+		// Channel parameters are fixed once the topology is built, so the
+		// hook captures them resolved rather than re-deriving per flit.
+		serCy, propCy := ch.SerializeCy, ch.PropCy
+		transit := channelTransit(ch)
+		swmrFwd := ch.Kind == "wireless" && ch.NumRx() > 1
 		ch.OnFlitTx = func(cycle uint64, f *noc.Flit, rx int) {
+			sp.ChannelTx(cycle, f, serCy, propCy, transit, swmrFwd)
 			if f.IsHead() && t.Sampled(f.Pkt.ID) {
 				t.Emit(cycle, cid, probe.EvTransmit, f.Pkt, rx)
 			}

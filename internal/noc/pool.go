@@ -30,12 +30,19 @@ type Pool struct {
 	Gets, News uint64
 	// Recycled counts packets returned.
 	Recycled uint64
+	// HighWater is the maximum number of packets simultaneously live
+	// (handed out and not yet recycled); it bounds the pool's retained
+	// storage and is the in-flight high-water mark of the owning source.
+	HighWater uint64
 }
 
 // Get returns a packet for a new lifetime: fields zeroed, flit storage
 // retained from the previous lifetime when available.
 func (pl *Pool) Get() *Packet {
 	pl.Gets++
+	if live := pl.Gets - pl.Recycled; live > pl.HighWater {
+		pl.HighWater = live
+	}
 	if n := len(pl.free); n > 0 {
 		p := pl.free[n-1]
 		pl.free[n-1] = nil

@@ -119,3 +119,29 @@ func TestFlitsOfMatchesMakeFlits(t *testing.T) {
 		}
 	}
 }
+
+func TestPoolHighWaterMark(t *testing.T) {
+	var pl Pool
+	a, b, c := pl.Get(), pl.Get(), pl.Get()
+	if pl.HighWater != 3 {
+		t.Fatalf("HighWater = %d after 3 live gets, want 3", pl.HighWater)
+	}
+	Recycle(a)
+	Recycle(b)
+	// Live count drops to 1; the high-water mark must not.
+	d := pl.Get()
+	if pl.HighWater != 3 {
+		t.Fatalf("HighWater = %d after recycles, want 3 (monotone)", pl.HighWater)
+	}
+	e, f := pl.Get(), pl.Get()
+	if pl.HighWater != 4 {
+		t.Fatalf("HighWater = %d after exceeding the old peak, want 4", pl.HighWater)
+	}
+	Recycle(c)
+	Recycle(d)
+	Recycle(e)
+	Recycle(f)
+	if pl.Gets != 6 || pl.Recycled != 6 || pl.HighWater != 4 {
+		t.Fatalf("Gets=%d Recycled=%d HighWater=%d, want 6/6/4", pl.Gets, pl.Recycled, pl.HighWater)
+	}
+}

@@ -96,6 +96,61 @@ func EmitHeatmaps(n *fabric.Network, prefix string, man *probe.Manifest) ([]stri
 	return written, nil
 }
 
+// EmitLatencyBreakdown writes the latency-attribution artifacts with
+// the given path prefix and returns the files written:
+//
+//	<prefix>.csv    — per-phase cycle totals with the sum-identity total
+//	    row (cmd/obscheck verifies the identity);
+//	<prefix>.ndjson — the same breakdown as one JSON object per phase;
+//	<prefix>.svg    — a stacked-bar figure of the phase shares.
+//
+// It requires a probe with span decomposition enabled (Options.Spans).
+func EmitLatencyBreakdown(n *fabric.Network, prefix string, man *probe.Manifest) ([]string, error) {
+	sp := n.Probe.Spans()
+	if sp == nil {
+		return nil, fmt.Errorf("obs: latency breakdown requested but span decomposition is not enabled")
+	}
+	var written []string
+	emit := func(name, path string, content []byte) error {
+		if err := writeArtifact(name, path, content, man); err != nil {
+			return err
+		}
+		written = append(written, path)
+		return nil
+	}
+
+	var buf bytes.Buffer
+	if err := sp.WriteCSV(&buf); err != nil {
+		return written, err
+	}
+	if err := emit("latency_breakdown", prefix+".csv", buf.Bytes()); err != nil {
+		return written, err
+	}
+	buf.Reset()
+	if err := sp.WriteNDJSON(&buf); err != nil {
+		return written, err
+	}
+	if err := emit("latency_breakdown_ndjson", prefix+".ndjson", buf.Bytes()); err != nil {
+		return written, err
+	}
+
+	labels := make([]string, probe.NumSpanPhases)
+	values := make([]float64, probe.NumSpanPhases)
+	for ph := probe.SpanPhase(0); ph < probe.NumSpanPhases; ph++ {
+		labels[ph] = ph.String()
+		values[ph] = float64(sp.PhaseCycles(ph))
+	}
+	bar := &plot.StackedBar{
+		Title:  fmt.Sprintf("%s: latency breakdown (%d packets, %d cy)", n.Name, sp.Packets(), sp.LatencyCycles()),
+		Labels: labels,
+		Values: values,
+	}
+	if err := emit("latency_breakdown_svg", prefix+".svg", []byte(bar.SVG())); err != nil {
+		return written, err
+	}
+	return written, nil
+}
+
 // writeArtifact writes content to path and digests it into the manifest.
 func writeArtifact(name, path string, content []byte, man *probe.Manifest) error {
 	if err := os.WriteFile(path, content, 0o644); err != nil {

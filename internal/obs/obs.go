@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -62,6 +63,10 @@ type Server struct {
 
 	ln  net.Listener
 	srv *http.Server
+
+	// pprof mounts the runtime profiling handlers under /debug/pprof/;
+	// set before Start via EnablePprof.
+	pprof bool
 }
 
 // subscriber is one connected /events client.
@@ -124,6 +129,13 @@ func (s *Server) MarkDone() {
 	s.mu.Unlock()
 }
 
+// EnablePprof mounts Go's runtime profiling handlers (net/http/pprof)
+// under /debug/pprof/ on the telemetry server. Call before Start. The
+// profiler reads runtime state only — like every other endpoint it
+// cannot reach back into the simulation, so results and artifacts stay
+// byte-identical with it on.
+func (s *Server) EnablePprof() { s.pprof = true }
+
 // Start listens on addr (host:port; port 0 picks a free port) and serves
 // until Close. It returns the bound address.
 func (s *Server) Start(addr string) (string, error) {
@@ -135,6 +147,13 @@ func (s *Server) Start(addr string) (string, error) {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/events", s.handleEvents)
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.ln = ln
 	s.srv = &http.Server{Handler: mux}
 	go func() {

@@ -1,0 +1,106 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// StackedBar is a single horizontal stacked bar — segment widths
+// proportional to values — with a legend row per segment. Like Heatmap,
+// the SVG rendering is a pure function of the struct (fixed palette,
+// fixed layout, fixed number formatting), so the artifact is
+// byte-identical across runs and GOMAXPROCS settings. Latency
+// attribution renders its per-phase breakdown with it.
+type StackedBar struct {
+	// Title is drawn above the bar.
+	Title string
+	// Labels names each segment (same length as Values).
+	Labels []string
+	// Values are the segment magnitudes; non-finite and negative values
+	// render as zero-width segments.
+	Values []float64
+}
+
+// stackPalette is the fixed segment color cycle (colorblind-safe-ish
+// qualitative set; wraps for more segments than colors).
+var stackPalette = []string{
+	"#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee",
+	"#aa3377", "#bbbbbb", "#994455", "#117733", "#ddaa33", "#332288",
+}
+
+// SVG renders the stacked bar as a standalone SVG document.
+func (s *StackedBar) SVG() string {
+	const (
+		margin  = 8
+		header  = 24
+		barW    = 560
+		barH    = 28
+		rowH    = 16
+		legendY = 12
+	)
+	n := len(s.Values)
+	width := margin*2 + barW
+	height := header + barH + legendY + n*rowH + margin
+
+	total := 0.0
+	for _, v := range s.Values {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0 {
+			total += v
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\">\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, "  <rect width=\"%d\" height=\"%d\" fill=\"#ffffff\"/>\n", width, height)
+	fmt.Fprintf(&b, "  <text x=\"%d\" y=\"16\" font-family=\"monospace\" font-size=\"12\">%s</text>\n",
+		margin, xmlEscape(s.Title))
+	// Segment x-offsets accumulate in value space and round only at
+	// rendering, so widths never drift from the proportions.
+	acc := 0.0
+	for i, v := range s.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			v = 0
+		}
+		x0, x1 := 0.0, 0.0
+		if total > 0 {
+			x0 = acc / total * barW
+			acc += v
+			x1 = acc / total * barW
+		}
+		w := int(math.Round(x1)) - int(math.Round(x0))
+		if w <= 0 {
+			continue
+		}
+		label := ""
+		if i < len(s.Labels) {
+			label = s.Labels[i]
+		}
+		fmt.Fprintf(&b, "  <rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"%s\"><title>%s = %s</title></rect>\n",
+			margin+int(math.Round(x0)), header, w, barH,
+			stackPalette[i%len(stackPalette)], xmlEscape(label), formatHeat(v))
+	}
+	// Legend: one row per segment (including zero-width ones, so the
+	// row set is fixed), swatch + label + value + share.
+	for i, v := range s.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			v = 0
+		}
+		share := 0.0
+		if total > 0 {
+			share = v / total
+		}
+		label := ""
+		if i < len(s.Labels) {
+			label = s.Labels[i]
+		}
+		y := header + barH + legendY + i*rowH
+		fmt.Fprintf(&b, "  <rect x=\"%d\" y=\"%d\" width=\"10\" height=\"10\" fill=\"%s\"/>\n",
+			margin, y, stackPalette[i%len(stackPalette)])
+		fmt.Fprintf(&b, "  <text x=\"%d\" y=\"%d\" font-family=\"monospace\" font-size=\"10\">%s %s (%s)</text>\n",
+			margin+14, y+9, xmlEscape(label), formatHeat(v), formatHeat(share))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

@@ -31,8 +31,49 @@ type Manifest struct {
 	Summary *stats.Summary `json:"summary,omitempty"`
 	// Points holds sweep results, one per (system, load).
 	Points []Point `json:"points,omitempty"`
+	// Engine is the engine-scheduler introspection record, present when
+	// the emitting tool ran an instrumented simulation.
+	Engine *EngineIntro `json:"engine,omitempty"`
+	// Pools is the packet-pool introspection record, aggregated over
+	// every source pool of the instrumented simulation.
+	Pools *PoolIntro `json:"pools,omitempty"`
 	// Artifacts digests the files emitted alongside the manifest.
 	Artifacts []Artifact `json:"artifacts,omitempty"`
+}
+
+// EngineIntro is the run manifest's view of the engine's active-set
+// scheduler: per-phase wake/tick counters plus whole-run fast-forward
+// accounting. All values are deterministic functions of the simulated
+// configuration and seed.
+type EngineIntro struct {
+	// Cycles is the engine's final cycle count.
+	Cycles uint64 `json:"cycles"`
+	// FastForwardedCy is the cycles RunUntil skipped through quiescence.
+	FastForwardedCy uint64 `json:"fast_forwarded_cy"`
+	// Phases holds one record per engine phase, in phase order.
+	Phases []PhaseIntro `json:"phases"`
+}
+
+// PhaseIntro is one engine phase's scheduler counters (the manifest
+// mirror of sim.PhaseStats).
+type PhaseIntro struct {
+	Phase         string `json:"phase"`
+	Ticks         uint64 `json:"ticks"`
+	WakesEvent    uint64 `json:"wakes_event"`
+	WakesTimer    uint64 `json:"wakes_timer"`
+	WakesSpurious uint64 `json:"wakes_spurious"`
+	AwakeCycleSum uint64 `json:"awake_cycle_sum"`
+	TimerHeapMax  int    `json:"timer_heap_max"`
+}
+
+// PoolIntro aggregates packet-pool counters over every source pool:
+// total gets, fresh allocations, recycles, and the sum of per-pool
+// high-water marks (an upper bound on simultaneously live packets).
+type PoolIntro struct {
+	Gets      uint64 `json:"gets"`
+	Fresh     uint64 `json:"fresh"`
+	Recycled  uint64 `json:"recycled"`
+	HighWater uint64 `json:"high_water"`
 }
 
 // Point is one sweep sample in a manifest.

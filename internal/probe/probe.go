@@ -42,6 +42,11 @@ type Options struct {
 	// aggregates and per-channel metrics are registered, which keeps
 	// the metrics table narrow on kilo-core networks.
 	PerComponent bool
+	// Spans enables per-packet latency attribution: every measured
+	// packet's end-to-end latency is decomposed into per-phase cycle
+	// counts (see SpanTracker). Off by default; unlike the tracer it
+	// follows every measured packet, not a sampled subset.
+	Spans bool
 }
 
 // DefaultMaxTraceEvents bounds the tracer's in-memory event buffer when
@@ -55,6 +60,7 @@ type Probe struct {
 	reg  *Registry
 	smp  *Sampler
 	trc  *Tracer
+	spn  *SpanTracker
 }
 
 // New creates a probe. The registry always exists; the sampler and
@@ -70,6 +76,9 @@ func New(o Options) *Probe {
 			max = DefaultMaxTraceEvents
 		}
 		p.trc = newTracer(o.TraceEvery, max)
+	}
+	if o.Spans {
+		p.spn = newSpanTracker()
 	}
 	return p
 }
@@ -106,6 +115,16 @@ func (p *Probe) Tracer() *Tracer {
 		return nil
 	}
 	return p.trc
+}
+
+// Spans returns the latency-attribution tracker, or nil when span
+// decomposition is disabled (a nil *SpanTracker ignores every call,
+// completing the fast path).
+func (p *Probe) Spans() *SpanTracker {
+	if p == nil {
+		return nil
+	}
+	return p.spn
 }
 
 // Flush records a final metric sample at the given end-of-run cycle if

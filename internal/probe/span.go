@@ -1,0 +1,350 @@
+package probe
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"ownsim/internal/noc"
+)
+
+// Latency attribution spans: every measured packet's end-to-end latency
+// is decomposed into disjoint per-phase cycle counts whose sum equals
+// the latency exactly, cycle for cycle.
+//
+// The decomposition is telescoping: the tracker keeps one running mark
+// per live packet (the cycle up to which its lifetime has already been
+// attributed) and advances it at every lifecycle hook, charging the
+// interval since the previous mark to exactly one phase. The walk
+// follows the head flit from source enqueue to the last router, then
+// the final interval — terminal wire plus body/tail drain — is the sink
+// ejection phase. Medium flight is pre-attributed at transmit time
+// (serialization and propagation delays are fixed channel parameters),
+// which is safe because the head's next observable event, a switch at
+// the downstream router or the ejection of the tail, always happens at
+// or after the delivery cycle. Because every interval is charged
+// somewhere and the final hook closes the last one at the ejection
+// cycle, the per-packet identity sum(phases) == EjectedAt - CreatedAt
+// holds by construction; the tracker still verifies it per packet and
+// counts violations in Mismatches.
+//
+// Like the rest of the probe layer the tracker is deterministic (hooks
+// fire in engine order, aggregation is integer arithmetic, exports
+// iterate phases in enum order — the live map is lookup-only) and inert
+// (a nil *SpanTracker is valid everywhere and does nothing).
+
+// SpanPhase is one latency attribution phase.
+type SpanPhase uint8
+
+const (
+	// SpanSrcQueue is time spent in the source queue, from admission to
+	// head injection.
+	SpanSrcQueue SpanPhase = iota
+	// SpanElec is electrical traversal: router pipelines and the wires
+	// between them (the residual phase between attributed events).
+	SpanElec
+	// SpanTokenWait is time waiting for a shared channel: transmit-queue
+	// wait, token arbitration hops and pre-head credit stalls, from the
+	// head's switch into the channel writer to its serialization start.
+	SpanTokenWait
+	// SpanSerialize is the head flit's serialization time on a shared
+	// medium.
+	SpanSerialize
+	// SpanPhotonic is flight time on a photonic waveguide bus.
+	SpanPhotonic
+	// SpanWirelessC2C, SpanWirelessE2E and SpanWirelessSR are flight
+	// times on wireless channels of the paper's link-distance classes.
+	SpanWirelessC2C
+	SpanWirelessE2E
+	SpanWirelessSR
+	// SpanWireless is flight time on a wireless channel with no class
+	// label.
+	SpanWireless
+	// SpanSWMRFwd is the inter-group forward at the addressed cluster
+	// after a SWMR wireless hop: the interval from the wireless delivery
+	// to the forwarding router's head switch.
+	SpanSWMRFwd
+	// SpanSinkEject is the tail end of the journey: from the last
+	// router's head switch through the terminal wire until the tail flit
+	// reaches the sink.
+	SpanSinkEject
+	// NumSpanPhases bounds the enum.
+	NumSpanPhases
+)
+
+var spanPhaseNames = [NumSpanPhases]string{
+	"src_queue", "elec", "token_wait", "serialize", "photonic",
+	"wireless_c2c", "wireless_e2e", "wireless_sr", "wireless",
+	"swmr_fwd", "sink_eject",
+}
+
+// String implements fmt.Stringer.
+func (p SpanPhase) String() string {
+	if int(p) < len(spanPhaseNames) {
+		return spanPhaseNames[p]
+	}
+	return fmt.Sprintf("SpanPhase(%d)", uint8(p))
+}
+
+// WirelessSpanPhase maps a wireless link-distance class label ("C2C",
+// "E2E", "SR") to its transit phase; unknown labels attribute to the
+// unclassified wireless phase.
+func WirelessSpanPhase(class string) SpanPhase {
+	switch class {
+	case "C2C":
+		return SpanWirelessC2C
+	case "E2E":
+		return SpanWirelessE2E
+	case "SR":
+		return SpanWirelessSR
+	}
+	return SpanWireless
+}
+
+// spanState is the open attribution of one in-flight measured packet.
+type spanState struct {
+	// mark is the cycle up to which the lifetime is attributed.
+	mark uint64
+	// residual is the phase the next residual interval (ending at the
+	// next head switch or ejection) is charged to.
+	residual SpanPhase
+	acc      [NumSpanPhases]uint64
+}
+
+// SpanTracker accumulates per-phase latency attribution over the
+// measured packets of one run. A nil tracker is valid everywhere and
+// records nothing; fabric.Network.InstallProbe wires a non-nil one into
+// the packet lifecycle hooks when Options.Spans is set.
+type SpanTracker struct {
+	live map[uint64]*spanState // keyed by packet ID; lookup only, never iterated
+	free []*spanState
+
+	totals     [NumSpanPhases]uint64
+	packets    uint64
+	latencyCy  uint64
+	mismatches uint64
+}
+
+func newSpanTracker() *SpanTracker {
+	return &SpanTracker{live: make(map[uint64]*spanState)}
+}
+
+func (s *SpanTracker) getState() *spanState {
+	if n := len(s.free); n > 0 {
+		st := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		*st = spanState{}
+		return st
+	}
+	return &spanState{}
+}
+
+// Enqueue opens a packet's attribution at source-queue admission.
+// Packets outside the measurement window are ignored, so the aggregate
+// covers exactly the population the statistics collector reports.
+func (s *SpanTracker) Enqueue(p *noc.Packet, cycle uint64) {
+	if s == nil || !p.Measure {
+		return
+	}
+	st := s.getState()
+	st.mark = cycle
+	st.residual = SpanElec
+	s.live[p.ID] = st
+}
+
+// Inject charges the source-queue wait when the head flit leaves the
+// queue for the network interface.
+func (s *SpanTracker) Inject(p *noc.Packet, cycle uint64) {
+	if s == nil {
+		return
+	}
+	st := s.live[p.ID]
+	if st == nil {
+		return
+	}
+	st.acc[SpanSrcQueue] += cycle - st.mark
+	st.mark = cycle
+}
+
+// Switch closes the current residual interval at a router's head-flit
+// switch traversal (body and tail flits are not attribution points).
+func (s *SpanTracker) Switch(cycle uint64, f *noc.Flit) {
+	if s == nil || !f.IsHead() {
+		return
+	}
+	st := s.live[f.Pkt.ID]
+	if st == nil {
+		return
+	}
+	st.acc[st.residual] += cycle - st.mark
+	st.mark = cycle
+	st.residual = SpanElec
+}
+
+// ChannelTx attributes a shared-channel hop when the head flit starts
+// serializing: the interval since the head switched into the channel
+// writer is token wait, then the channel's fixed serialization and
+// propagation delays are pre-attributed (the head is delivered exactly
+// serializeCy+propCy later). A SWMR wireless hop labels the following
+// residual interval as the inter-group forward.
+func (s *SpanTracker) ChannelTx(cycle uint64, f *noc.Flit, serializeCy, propCy int, transit SpanPhase, swmrFwd bool) {
+	if s == nil || !f.IsHead() {
+		return
+	}
+	st := s.live[f.Pkt.ID]
+	if st == nil {
+		return
+	}
+	st.acc[SpanTokenWait] += cycle - st.mark
+	st.acc[SpanSerialize] += uint64(serializeCy)
+	st.acc[transit] += uint64(propCy)
+	st.mark = cycle + uint64(serializeCy) + uint64(propCy)
+	if swmrFwd {
+		st.residual = SpanSWMRFwd
+	} else {
+		st.residual = SpanElec
+	}
+}
+
+// Eject closes the packet's attribution at tail ejection, verifies the
+// telescoping identity against the packet's end-to-end latency and
+// folds the per-packet counts into the run totals.
+func (s *SpanTracker) Eject(p *noc.Packet, cycle uint64) {
+	if s == nil {
+		return
+	}
+	st := s.live[p.ID]
+	if st == nil {
+		return
+	}
+	delete(s.live, p.ID)
+	st.acc[SpanSinkEject] += cycle - st.mark
+	var sum uint64
+	for ph, cy := range st.acc {
+		sum += cy
+		s.totals[ph] += cy
+	}
+	lat := cycle - p.CreatedAt
+	if sum != lat {
+		s.mismatches++
+	}
+	s.packets++
+	s.latencyCy += lat
+	s.free = append(s.free, st)
+}
+
+// Packets returns the number of measured packets attributed.
+func (s *SpanTracker) Packets() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.packets
+}
+
+// LatencyCycles returns the summed end-to-end latency of every
+// attributed packet; it equals the sum of PhaseCycles over all phases
+// whenever Mismatches is zero.
+func (s *SpanTracker) LatencyCycles() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.latencyCy
+}
+
+// PhaseCycles returns the total cycles attributed to one phase.
+func (s *SpanTracker) PhaseCycles(p SpanPhase) uint64 {
+	if s == nil || p >= NumSpanPhases {
+		return 0
+	}
+	return s.totals[p]
+}
+
+// TotalPhaseCycles returns the sum of PhaseCycles over all phases.
+func (s *SpanTracker) TotalPhaseCycles() uint64 {
+	if s == nil {
+		return 0
+	}
+	var sum uint64
+	for _, cy := range s.totals {
+		sum += cy
+	}
+	return sum
+}
+
+// Mismatches returns the number of packets whose phase sum failed the
+// latency identity; any nonzero value is an attribution bug.
+func (s *SpanTracker) Mismatches() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.mismatches
+}
+
+// InFlight returns the number of packets with open attributions (for
+// drain checks and leak tests).
+func (s *SpanTracker) InFlight() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.live)
+}
+
+// SpanCSVHeader is the latency-breakdown CSV header. cmd/obscheck
+// recognizes the artifact by it and enforces the sum identity: the
+// phase rows' cycles column must sum exactly (integer equality, no
+// tolerance) to the final total row, which carries the summed
+// end-to-end latency.
+var SpanCSVHeader = []string{"phase", "packets", "cycles", "avg_cy_per_pkt", "share"}
+
+// spanRow renders one breakdown row with the package's deterministic
+// float formatting.
+func spanRow(w io.Writer, name string, packets, cycles, latency uint64) error {
+	avg, share := 0.0, 0.0
+	if packets > 0 {
+		avg = float64(cycles) / float64(packets)
+	}
+	if latency > 0 {
+		share = float64(cycles) / float64(latency)
+	}
+	_, err := fmt.Fprintf(w, "%s,%d,%d,%s,%s\n", name, packets, cycles,
+		strconv.FormatFloat(avg, 'f', -1, 64), strconv.FormatFloat(share, 'f', -1, 64))
+	return err
+}
+
+// WriteCSV writes the aggregated breakdown: one row per phase in enum
+// order (zero phases included, so the row set is fixed) and a final
+// total row whose cycles equal the summed end-to-end latency.
+func (s *SpanTracker) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s,%s,%s,%s,%s\n", SpanCSVHeader[0], SpanCSVHeader[1],
+		SpanCSVHeader[2], SpanCSVHeader[3], SpanCSVHeader[4]); err != nil {
+		return err
+	}
+	packets, latency := s.Packets(), s.LatencyCycles()
+	for ph := SpanPhase(0); ph < NumSpanPhases; ph++ {
+		if err := spanRow(w, ph.String(), packets, s.PhaseCycles(ph), latency); err != nil {
+			return err
+		}
+	}
+	return spanRow(w, "total", packets, latency, latency)
+}
+
+// WriteNDJSON writes one JSON object per phase in enum order, then a
+// total record carrying the packet count and mismatch counter.
+func (s *SpanTracker) WriteNDJSON(w io.Writer) error {
+	latency := s.LatencyCycles()
+	for ph := SpanPhase(0); ph < NumSpanPhases; ph++ {
+		cy := s.PhaseCycles(ph)
+		share := 0.0
+		if latency > 0 {
+			share = float64(cy) / float64(latency)
+		}
+		if _, err := fmt.Fprintf(w, "{\"phase\":%q,\"cycles\":%d,\"share\":%s}\n",
+			ph.String(), cy, strconv.FormatFloat(share, 'f', -1, 64)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "{\"phase\":\"total\",\"cycles\":%d,\"packets\":%d,\"mismatches\":%d}\n",
+		latency, s.Packets(), s.Mismatches())
+	return err
+}

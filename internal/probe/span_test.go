@@ -1,0 +1,224 @@
+package probe
+
+import (
+	"strings"
+	"testing"
+
+	"ownsim/internal/noc"
+)
+
+// walkPacket drives one synthetic measured packet through the tracker:
+// enqueue at t0, inject after qWait, a couple of router switches, a
+// shared-channel hop, a final switch, and ejection. Returns the packet
+// and its ejection cycle.
+func walkPacket(s *SpanTracker, id uint64) (*noc.Packet, uint64) {
+	p := &noc.Packet{ID: id, Measure: true, NumFlits: 2, CreatedAt: 100}
+	fl := noc.MakeFlits(p)
+	head := fl[0]
+
+	s.Enqueue(p, 100)
+	s.Inject(p, 103)    // src_queue += 3
+	s.Switch(106, head) // elec += 3
+	s.Switch(110, head) // elec += 4
+	// Channel hop: head switched into the writer at 110, serialization
+	// starts at 115 (token_wait += 5), 2 cy serialize + 6 cy photonic
+	// flight pre-attributed; mark lands at 123.
+	s.ChannelTx(115, head, 2, 6, SpanPhotonic, false)
+	s.Switch(125, head) // elec += 2
+	s.Eject(p, 130)     // sink_eject += 5
+	return p, 130
+}
+
+func TestSpanTrackerTelescopingIdentity(t *testing.T) {
+	s := newSpanTracker()
+	p, ejectCy := walkPacket(s, 7)
+
+	if s.Mismatches() != 0 {
+		t.Fatalf("Mismatches = %d, want 0", s.Mismatches())
+	}
+	if s.Packets() != 1 {
+		t.Fatalf("Packets = %d, want 1", s.Packets())
+	}
+	wantLat := ejectCy - p.CreatedAt
+	if s.LatencyCycles() != wantLat {
+		t.Fatalf("LatencyCycles = %d, want %d", s.LatencyCycles(), wantLat)
+	}
+	if s.TotalPhaseCycles() != wantLat {
+		t.Fatalf("TotalPhaseCycles = %d, want %d (identity)", s.TotalPhaseCycles(), wantLat)
+	}
+	want := map[SpanPhase]uint64{
+		SpanSrcQueue:  3,
+		SpanElec:      9,
+		SpanTokenWait: 5,
+		SpanSerialize: 2,
+		SpanPhotonic:  6,
+		SpanSinkEject: 5,
+	}
+	for ph := SpanPhase(0); ph < NumSpanPhases; ph++ {
+		if got := s.PhaseCycles(ph); got != want[ph] {
+			t.Errorf("PhaseCycles(%s) = %d, want %d", ph, got, want[ph])
+		}
+	}
+	if s.InFlight() != 0 {
+		t.Errorf("InFlight = %d after eject, want 0", s.InFlight())
+	}
+}
+
+func TestSpanTrackerSWMRResidual(t *testing.T) {
+	s := newSpanTracker()
+	p := &noc.Packet{ID: 1, Measure: true, NumFlits: 1, CreatedAt: 0}
+	head := noc.MakeFlits(p)[0]
+	s.Enqueue(p, 0)
+	s.Inject(p, 1)
+	s.Switch(2, head)
+	// SWMR wireless hop: the residual after delivery (mark = 14) up to
+	// the next switch is the inter-group forward.
+	s.ChannelTx(4, head, 8, 2, SpanWirelessE2E, true)
+	s.Switch(17, head) // swmr_fwd += 3
+	s.Eject(p, 19)
+	if got := s.PhaseCycles(SpanSWMRFwd); got != 3 {
+		t.Errorf("PhaseCycles(swmr_fwd) = %d, want 3", got)
+	}
+	if got := s.PhaseCycles(SpanWirelessE2E); got != 2 {
+		t.Errorf("PhaseCycles(wireless_e2e) = %d, want 2", got)
+	}
+	if s.Mismatches() != 0 {
+		t.Errorf("Mismatches = %d, want 0", s.Mismatches())
+	}
+	if s.LatencyCycles() != 19 || s.TotalPhaseCycles() != 19 {
+		t.Errorf("latency %d / phase sum %d, want 19/19", s.LatencyCycles(), s.TotalPhaseCycles())
+	}
+}
+
+func TestSpanTrackerIgnoresUnmeasuredAndUnknown(t *testing.T) {
+	s := newSpanTracker()
+	warm := &noc.Packet{ID: 2, Measure: false, NumFlits: 1, CreatedAt: 0}
+	head := noc.MakeFlits(warm)[0]
+	s.Enqueue(warm, 0)
+	if s.InFlight() != 0 {
+		t.Fatalf("unmeasured packet opened a span")
+	}
+	// Events for packets with no open span (warmup traffic mid-flight)
+	// must be ignored, not crash or misattribute.
+	s.Inject(warm, 1)
+	s.Switch(2, head)
+	s.ChannelTx(3, head, 1, 1, SpanPhotonic, false)
+	s.Eject(warm, 5)
+	if s.Packets() != 0 || s.TotalPhaseCycles() != 0 {
+		t.Fatalf("unmeasured packet was attributed: %d packets, %d cy", s.Packets(), s.TotalPhaseCycles())
+	}
+}
+
+func TestSpanTrackerNilSafe(t *testing.T) {
+	var s *SpanTracker
+	p := &noc.Packet{ID: 3, Measure: true, NumFlits: 1}
+	head := noc.MakeFlits(p)[0]
+	s.Enqueue(p, 0)
+	s.Inject(p, 1)
+	s.Switch(2, head)
+	s.ChannelTx(3, head, 1, 1, SpanPhotonic, false)
+	s.Eject(p, 5)
+	if s.Packets() != 0 || s.LatencyCycles() != 0 || s.Mismatches() != 0 ||
+		s.TotalPhaseCycles() != 0 || s.PhaseCycles(SpanElec) != 0 || s.InFlight() != 0 {
+		t.Fatal("nil tracker reported nonzero state")
+	}
+}
+
+func TestSpanTrackerFreelistReuse(t *testing.T) {
+	s := newSpanTracker()
+	walkPacket(s, 1)
+	if len(s.free) != 1 {
+		t.Fatalf("freelist has %d entries after one eject, want 1", len(s.free))
+	}
+	walkPacket(s, 2)
+	if len(s.free) != 1 {
+		t.Fatalf("freelist has %d entries after reuse, want 1", len(s.free))
+	}
+	if s.Packets() != 2 || s.Mismatches() != 0 {
+		t.Fatalf("Packets=%d Mismatches=%d, want 2/0", s.Packets(), s.Mismatches())
+	}
+}
+
+func TestSpanTrackerMismatchDetection(t *testing.T) {
+	s := newSpanTracker()
+	p := &noc.Packet{ID: 9, Measure: true, NumFlits: 1, CreatedAt: 50}
+	s.Enqueue(p, 60) // opened late: 10 cycles unattributable
+	s.Inject(p, 61)
+	s.Eject(p, 65)
+	if s.Mismatches() != 1 {
+		t.Fatalf("Mismatches = %d, want 1 for a late-opened span", s.Mismatches())
+	}
+}
+
+func TestWirelessSpanPhaseMapping(t *testing.T) {
+	cases := map[string]SpanPhase{
+		"C2C":  SpanWirelessC2C,
+		"E2E":  SpanWirelessE2E,
+		"SR":   SpanWirelessSR,
+		"grid": SpanWireless,
+		"":     SpanWireless,
+	}
+	for class, want := range cases {
+		if got := WirelessSpanPhase(class); got != want {
+			t.Errorf("WirelessSpanPhase(%q) = %v, want %v", class, got, want)
+		}
+	}
+}
+
+func TestSpanCSVAndNDJSON(t *testing.T) {
+	s := newSpanTracker()
+	walkPacket(s, 4)
+
+	var csvb strings.Builder
+	if err := s.WriteCSV(&csvb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(csvb.String(), "\n"), "\n")
+	// Header + one row per phase + total row.
+	if want := 1 + int(NumSpanPhases) + 1; len(lines) != want {
+		t.Fatalf("CSV has %d lines, want %d:\n%s", len(lines), want, csvb.String())
+	}
+	if lines[0] != strings.Join(SpanCSVHeader, ",") {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	lastFields := strings.Split(lines[len(lines)-1], ",")
+	if lastFields[0] != "total" || lastFields[2] != "30" {
+		t.Fatalf("total row = %q, want total with 30 cycles", lines[len(lines)-1])
+	}
+
+	var ndjb strings.Builder
+	if err := s.WriteNDJSON(&ndjb); err != nil {
+		t.Fatal(err)
+	}
+	nd := strings.Split(strings.TrimRight(ndjb.String(), "\n"), "\n")
+	if want := int(NumSpanPhases) + 1; len(nd) != want {
+		t.Fatalf("NDJSON has %d lines, want %d", len(nd), want)
+	}
+	if !strings.Contains(nd[len(nd)-1], "\"mismatches\":0") {
+		t.Fatalf("NDJSON total record = %q, want mismatches:0", nd[len(nd)-1])
+	}
+
+	// Determinism: a second render is byte-identical.
+	var again strings.Builder
+	if err := s.WriteCSV(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != csvb.String() {
+		t.Fatal("CSV render is not deterministic")
+	}
+}
+
+// Probe plumbing: Options.Spans creates the tracker, nil probe hands
+// out a nil (inert) one.
+func TestProbeSpansOption(t *testing.T) {
+	if p := New(Options{}); p.Spans() != nil {
+		t.Fatal("Spans() != nil with Options.Spans unset")
+	}
+	if p := New(Options{Spans: true}); p.Spans() == nil {
+		t.Fatal("Spans() == nil with Options.Spans set")
+	}
+	var nilP *Probe
+	if nilP.Spans() != nil {
+		t.Fatal("nil probe returned a non-nil span tracker")
+	}
+}

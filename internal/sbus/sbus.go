@@ -40,6 +40,11 @@ type Channel struct {
 	// Kind labels the physical medium ("photonic", "wireless"); the
 	// builders set it and telemetry/tracing report it.
 	Kind string
+	// Class further labels wireless channels with the paper's
+	// link-distance class ("C2C", "E2E", "SR"); empty for photonic buses
+	// and unclassified media. Latency attribution keys transit phases
+	// off it.
+	Class string
 	// OnAcquire, OnRelease and OnFlitTx are optional probe observers
 	// (fabric.Network.InstallProbe wires them; nil disables):
 	// OnAcquire fires when the channel locks onto a packet, with the
@@ -321,6 +326,11 @@ func (w *Writer) nextPendingVC() int {
 // Queued returns the number of flits waiting in writer queues plus in
 // flight, for drain checks.
 func (c *Channel) Queued() int { return c.totalQueued + c.inflight.size }
+
+// NumRx returns the number of receive ports; more than one marks a
+// SWMR medium whose delivered packets still face an intra-group
+// forward.
+func (c *Channel) NumRx() int { return len(c.rxs) }
 
 // Stats is a channel's telemetry snapshot.
 type Stats struct {

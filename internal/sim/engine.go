@@ -36,6 +36,20 @@ type Ticker interface {
 // Phase identifies one of the engine's ordered execution phases.
 type Phase int
 
+// String names the phase for metrics and manifests ("delivery",
+// "compute", "collect").
+func (p Phase) String() string {
+	switch p {
+	case PhaseDelivery:
+		return "delivery"
+	case PhaseCompute:
+		return "compute"
+	case PhaseCollect:
+		return "collect"
+	}
+	return "invalid"
+}
+
 const (
 	// PhaseDelivery is when channels move flits/credits that have
 	// completed their traversal into downstream buffers.
@@ -57,8 +71,9 @@ const (
 // which (together with seeded RNGs) makes whole simulations bit-for-bit
 // reproducible.
 type Engine struct {
-	phases [numPhases]phaseSched
-	cycle  uint64
+	phases  [numPhases]phaseSched
+	cycle   uint64
+	fastFwd uint64
 }
 
 // NewEngine returns an empty engine positioned at cycle zero.
@@ -143,7 +158,9 @@ func (e *Engine) RunUntil(cond func() bool, budget uint64) bool {
 			return true
 		}
 		if e.Quiescent() {
-			e.cycle += budget - i - 1
+			skipped := budget - i - 1
+			e.cycle += skipped
+			e.fastFwd += skipped
 			return cond()
 		}
 	}
@@ -168,6 +185,45 @@ func (e *Engine) Awake(p Phase) int {
 	return e.phases[p].awake
 }
 
+// PhaseStats is the cumulative introspection record of one phase's
+// active-set schedule. All counts are free-running since engine
+// construction; they are pure observations of scheduling activity and
+// never feed back into it, so reading them is always safe.
+type PhaseStats struct {
+	// Ticks counts component Tick invocations.
+	Ticks uint64
+	// WakesEvent counts sleep-to-awake transitions caused by Waker.Wake
+	// (including WakeAt calls that degrade to an immediate wake).
+	WakesEvent uint64
+	// WakesTimer counts sleep-to-awake transitions caused by a live
+	// timed wakeup coming due.
+	WakesTimer uint64
+	// WakesSpurious counts timer pops that woke nothing new: the entry
+	// was stale (superseded by an earlier wakeup) or its component was
+	// already awake. The wake protocol makes these harmless; the count
+	// sizes their overhead.
+	WakesSpurious uint64
+	// AwakeCycleSum accumulates the awake-set size once per executed
+	// cycle; divided by executed cycles it is the mean occupancy. Cycles
+	// fast-forwarded by RunUntil are not executed and not summed.
+	AwakeCycleSum uint64
+	// TimerHeapMax is the high-water mark of the timed-wakeup heap.
+	TimerHeapMax int
+}
+
+// PhaseStats returns phase p's scheduler introspection counters (zero
+// value on an invalid phase).
+func (e *Engine) PhaseStats(p Phase) PhaseStats {
+	if p < 0 || p >= numPhases {
+		return PhaseStats{}
+	}
+	return e.phases[p].stats
+}
+
+// FastForwarded returns the cycles RunUntil skipped through quiescent
+// stretches instead of stepping them one by one.
+func (e *Engine) FastForwarded() uint64 { return e.fastFwd }
+
 // phaseSched is the active-set schedule of one phase: the components in
 // registration order, a dense awake bitmap over them, and a heap of timed
 // wakeups. Iteration walks the bitmap in ascending index order, so the
@@ -178,6 +234,7 @@ type phaseSched struct {
 	bits   []uint64 // awake bitmap, bit i covers ticks[i]
 	awake  int      // number of set bits
 	timers timerHeap
+	stats  PhaseStats
 }
 
 // add appends a component; w is nil for always-on components, whose bit is
@@ -195,13 +252,18 @@ func (ps *phaseSched) add(t Ticker, w *Waker) {
 	ps.set(idx) // everything starts awake
 }
 
-func (ps *phaseSched) set(idx int) {
+// set marks the component awake and reports whether this was a
+// sleep-to-awake transition (false: it was awake already). Callers that
+// attribute wake causes branch on the return value.
+func (ps *phaseSched) set(idx int) bool {
 	word := &ps.bits[idx>>6]
 	mask := uint64(1) << (uint(idx) & 63)
 	if *word&mask == 0 {
 		*word |= mask
 		ps.awake++
+		return true
 	}
+	return false
 }
 
 func (ps *phaseSched) clear(idx int) {
@@ -223,11 +285,21 @@ func (ps *phaseSched) clear(idx int) {
 func (ps *phaseSched) run(cycle uint64) {
 	for len(ps.timers) > 0 && ps.timers[0].at <= cycle {
 		ent := ps.timers.pop()
-		if w := ps.wakers[ent.idx]; w != nil && w.timerAt == ent.at {
+		// An entry is live when it is the component's current earliest
+		// timed wakeup; superseded entries still pop but count as
+		// spurious, as does any pop whose component is already awake.
+		w := ps.wakers[ent.idx]
+		live := w != nil && w.timerAt == ent.at
+		if live {
 			w.timerAt = 0
 		}
-		ps.set(ent.idx)
+		if ps.set(ent.idx) && live {
+			ps.stats.WakesTimer++
+		} else {
+			ps.stats.WakesSpurious++
+		}
 	}
+	ps.stats.AwakeCycleSum += uint64(ps.awake)
 	if ps.awake == 0 {
 		return
 	}
@@ -244,6 +316,7 @@ func (ps *phaseSched) run(cycle uint64) {
 			// defer to the next cycle — the same-word revisit would
 			// otherwise break registration-order semantics.
 			done |= uint64(1)<<uint(b)<<1 - 1
+			ps.stats.Ticks++
 			ps.ticks[wi<<6|b].Tick(cycle)
 		}
 	}

@@ -1,0 +1,118 @@
+package sim
+
+import "testing"
+
+func TestPhaseString(t *testing.T) {
+	cases := map[Phase]string{
+		PhaseDelivery: "delivery",
+		PhaseCompute:  "compute",
+		PhaseCollect:  "collect",
+		Phase(99):     "invalid",
+		Phase(-1):     "invalid",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("Phase(%d).String() = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestPhaseStatsWakeCauses(t *testing.T) {
+	e := NewEngine()
+	s := newSleeper(e, PhaseCompute)
+	e.Step() // initial awake tick, then asleep
+
+	// Event wake: one transition; the second Wake is a no-op.
+	s.w.Wake()
+	s.w.Wake()
+	e.Step()
+
+	// Timer wake: due at a future cycle.
+	s.w.WakeAt(e.Cycle() + 3)
+	e.Run(4)
+
+	st := e.PhaseStats(PhaseCompute)
+	if st.WakesEvent != 1 {
+		t.Errorf("WakesEvent = %d, want 1", st.WakesEvent)
+	}
+	if st.WakesTimer != 1 {
+		t.Errorf("WakesTimer = %d, want 1", st.WakesTimer)
+	}
+	if st.WakesSpurious != 0 {
+		t.Errorf("WakesSpurious = %d, want 0", st.WakesSpurious)
+	}
+	// Initial tick + event wake tick + timer wake tick.
+	if st.Ticks != 3 {
+		t.Errorf("Ticks = %d, want 3", st.Ticks)
+	}
+	if got := len(s.visits); got != 3 {
+		t.Fatalf("sleeper ticked %d times, want 3", got)
+	}
+}
+
+func TestPhaseStatsSpuriousTimer(t *testing.T) {
+	e := NewEngine()
+	s := newSleeper(e, PhaseCompute)
+	e.Step()
+
+	// A later timer is left in the heap when an earlier one subsumes it:
+	// the later pop finds w.timerAt already cleared and counts spurious.
+	s.w.WakeAt(e.Cycle() + 5)
+	s.w.WakeAt(e.Cycle() + 2) // earlier: supersedes
+	e.Run(6)
+
+	st := e.PhaseStats(PhaseCompute)
+	if st.WakesTimer != 1 {
+		t.Errorf("WakesTimer = %d, want 1", st.WakesTimer)
+	}
+	if st.WakesSpurious != 1 {
+		t.Errorf("WakesSpurious = %d, want 1 (stale heap entry)", st.WakesSpurious)
+	}
+	if st.TimerHeapMax != 2 {
+		t.Errorf("TimerHeapMax = %d, want 2", st.TimerHeapMax)
+	}
+}
+
+func TestPhaseStatsAwakeOccupancy(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Register(PhaseCollect, tickFunc(func(uint64) { n++ }))
+	e.Run(10)
+	st := e.PhaseStats(PhaseCollect)
+	// One always-on component: occupancy 1 on each of the 10 cycles.
+	if st.AwakeCycleSum != 10 {
+		t.Errorf("AwakeCycleSum = %d, want 10", st.AwakeCycleSum)
+	}
+	if st.Ticks != 10 {
+		t.Errorf("Ticks = %d, want 10", st.Ticks)
+	}
+}
+
+func TestFastForwardedCycles(t *testing.T) {
+	e := NewEngine()
+	s := newSleeper(e, PhaseCompute)
+	_ = s
+	// The sleeper sleeps after its first tick; the engine goes quiescent
+	// and RunUntil fast-forwards the rest of the budget.
+	ok := e.RunUntil(func() bool { return false }, 100)
+	if ok {
+		t.Fatal("RunUntil reported success for unreachable condition")
+	}
+	if e.Cycle() != 100 {
+		t.Fatalf("Cycle() = %d, want 100", e.Cycle())
+	}
+	if ff := e.FastForwarded(); ff != 99 {
+		t.Errorf("FastForwarded() = %d, want 99", ff)
+	}
+	// Fast-forwarded cycles are not executed: occupancy summed once.
+	if st := e.PhaseStats(PhaseCompute); st.AwakeCycleSum != 1 {
+		t.Errorf("AwakeCycleSum = %d, want 1", st.AwakeCycleSum)
+	}
+}
+
+func TestPhaseStatsInvalidPhase(t *testing.T) {
+	e := NewEngine()
+	if st := e.PhaseStats(Phase(99)); st != (PhaseStats{}) {
+		t.Errorf("PhaseStats(invalid) = %+v, want zero value", st)
+	}
+}

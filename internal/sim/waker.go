@@ -23,7 +23,11 @@ type Waker struct {
 // Wake marks the component runnable at the next execution of its phase:
 // the current cycle if its phase has not yet walked past it, otherwise the
 // next cycle. Calling Wake on an awake component is a no-op.
-func (w *Waker) Wake() { w.ps.set(w.idx) }
+func (w *Waker) Wake() {
+	if w.ps.set(w.idx) {
+		w.ps.stats.WakesEvent++
+	}
+}
 
 // Sleep removes the component from the active set. Call it only from
 // inside the component's own Tick, after establishing that no work is
@@ -44,6 +48,9 @@ func (w *Waker) WakeAt(cycle uint64) {
 	}
 	w.timerAt = cycle
 	w.ps.timers.push(timerEnt{at: cycle, idx: w.idx})
+	if n := len(w.ps.timers); n > w.ps.stats.TimerHeapMax {
+		w.ps.stats.TimerHeapMax = n
+	}
 }
 
 // Now returns the cycle currently executing (equal to Engine.Cycle). It

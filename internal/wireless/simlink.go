@@ -55,6 +55,7 @@ func (o LinkOpts) txDepth() int {
 func BuildP2P(n *fabric.Network, tx, rx Endpoint, o LinkOpts) *sbus.Channel {
 	ch := sbus.NewChannel(o.Name, o.SerializeCy, o.PropCy, o.TokenHopCy)
 	ch.Kind = "wireless"
+	ch.Class = o.ClassLabel
 	meter := n.Meter
 	id, epb := o.ChannelID, o.EPBpJ
 	meter.SetChannelClass(id, o.ClassLabel)
@@ -77,6 +78,7 @@ func BuildP2P(n *fabric.Network, tx, rx Endpoint, o LinkOpts) *sbus.Channel {
 func BuildSWMR(n *fabric.Network, txs, rxs []Endpoint, selectRx func(p *noc.Packet) int, o LinkOpts) *sbus.Channel {
 	ch := sbus.NewChannel(o.Name, o.SerializeCy, o.PropCy, o.TokenHopCy)
 	ch.Kind = "wireless"
+	ch.Class = o.ClassLabel
 	meter := n.Meter
 	id, epb := o.ChannelID, o.EPBpJ
 	meter.SetChannelClass(id, o.ClassLabel)
