@@ -37,12 +37,15 @@ race:
 # single run, an instrumented sweep, and a live-telemetry run whose
 # /metrics endpoint is scraped mid-flight (obscheck -scrape, no curl
 # needed) with required scheduler/pool series, whose pprof endpoint
-# serves a cpu profile sample, then cmd/obscheck verifies that every
-# emitted artifact (metrics CSV/NDJSON, trace JSON/NDJSON, run
-# manifests, energy attribution CSV, heatmap CSV/SVG, latency-breakdown
-# CSV/NDJSON/SVG with the span sum identity, Prometheus scrape)
-# actually parses. Set SMOKEDIR to keep the artifacts (CI uploads
-# them); by default a temp dir is used and removed.
+# serves a cpu profile sample and whose /debug/dump endpoint serves a
+# mid-flight flight-recorder state dump, then cmd/obscheck verifies
+# that every emitted artifact (metrics CSV/NDJSON, trace JSON/NDJSON,
+# run manifests, energy attribution CSV, heatmap CSV/SVG,
+# latency-breakdown CSV/NDJSON/SVG with the span sum identity,
+# token-fairness CSVs with the Jain (0,1] bound, state-dump NDJSON
+# framing, Prometheus scrape) actually parses. Set SMOKEDIR to keep
+# the artifacts (CI uploads them); by default a temp dir is used and
+# removed.
 smoke:
 	@dir="$(SMOKEDIR)"; \
 	if [ -z "$$dir" ]; then dir=$$(mktemp -d); trap "rm -rf $$dir" EXIT; else mkdir -p "$$dir"; fi; \
@@ -58,6 +61,7 @@ smoke:
 	$(GO) run ./cmd/ownsim -cores 256 -warmup 200 -measure 600000 -seed 1 \
 		-listen 127.0.0.1:0 -pprof -energy $$dir/energy.csv -heatmap $$dir/heat \
 		-latency-breakdown $$dir/live-breakdown \
+		-fairness $$dir/fair -dump-on-exit $$dir/dump \
 		-reservoir 4096 -manifest $$dir/live-manifest.json \
 		>/dev/null 2>$$dir/live.log & pid=$$!; \
 	url=""; for i in $$(seq 1 100); do \
@@ -69,6 +73,7 @@ smoke:
 		-require ownsim_engine_compute_ticks -require ownsim_pool_gets; \
 	base=$${url%/metrics}; \
 	$(GO) run ./cmd/obscheck -fetch "$$base/debug/pprof/profile?seconds=1" -o $$dir/profile.pb.gz; \
+	$(GO) run ./cmd/obscheck -fetch "$$base/debug/dump" -o $$dir/dump-live.ndjson; \
 	wait $$pid; \
 	$(GO) run ./cmd/obscheck $$dir/run.csv $$dir/run.json $$dir/run-manifest.json \
 		$$dir/sweep.ndjson $$dir/sweep-trace.ndjson $$dir/sweep-manifest.json \
@@ -77,7 +82,9 @@ smoke:
 		$$dir/heat_energy.csv $$dir/heat_energy.svg \
 		$$dir/breakdown.csv $$dir/breakdown.ndjson $$dir/breakdown.svg \
 		$$dir/sweep-breakdown.csv $$dir/sweep-breakdown.ndjson $$dir/sweep-breakdown.svg \
-		$$dir/live-breakdown.csv $$dir/live-breakdown.ndjson $$dir/live-breakdown.svg
+		$$dir/live-breakdown.csv $$dir/live-breakdown.ndjson $$dir/live-breakdown.svg \
+		$$dir/fair_tiles.csv $$dir/fair_jain.csv $$dir/fair_heatmap.svg \
+		$$dir/dump.ndjson $$dir/dump-live.ndjson
 
 # bench runs the simulator microbenchmarks (engine hot path, packet
 # pooling, end-to-end uniform-traffic runs) with allocation reporting.

@@ -46,6 +46,7 @@ import (
 	"strings"
 	"time"
 
+	"ownsim/internal/flightrec"
 	"ownsim/internal/power"
 	"ownsim/internal/probe"
 	"ownsim/internal/stats"
@@ -69,7 +70,13 @@ func main() {
 	fetch := flag.String("fetch", "", "fetch this URL raw (retrying; any non-empty 200 body passes, e.g. a pprof profile)")
 	var require stringList
 	flag.Var(&require, "require", "with -scrape: require this Prometheus series to be present and nonzero (repeatable; retries until satisfied)")
+	fetchTimeout := flag.Duration("fetch-timeout", 10*time.Second, "total retry budget for each -scrape/-fetch loop (also the per-request HTTP timeout)")
 	flag.Parse()
+	if *fetchTimeout <= 0 {
+		log.Fatal("-fetch-timeout must be positive")
+	}
+	retryBudget = *fetchTimeout
+	httpClient = &http.Client{Timeout: *fetchTimeout}
 	if *scrape == "" && *fetch == "" && flag.NArg() == 0 {
 		log.Fatal("usage: obscheck [-scrape URL [-require NAME]... [-o FILE]] [-fetch URL [-o FILE]] file...")
 	}
@@ -109,15 +116,34 @@ func main() {
 	}
 }
 
-// fetchURL fetches url, retrying for a few seconds so the caller can
-// race obscheck against a simulation that is still binding its listener.
+// retryBudget bounds each fetch/scrape retry loop; -fetch-timeout
+// overrides the default. retryAttempts spaces the retries at
+// retryInterval over the budget.
+var (
+	retryBudget = 10 * time.Second
+	httpClient  = http.DefaultClient
+)
+
+const retryInterval = 100 * time.Millisecond
+
+func retryAttempts() int {
+	n := int(retryBudget / retryInterval)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// fetchURL fetches url, retrying across the -fetch-timeout budget so
+// the caller can race obscheck against a simulation that is still
+// binding its listener.
 func fetchURL(url string) ([]byte, error) {
 	var lastErr error
-	for attempt := 0; attempt < 50; attempt++ {
-		resp, err := http.Get(url)
+	for attempt, tries := 0, retryAttempts(); attempt < tries; attempt++ {
+		resp, err := httpClient.Get(url)
 		if err != nil {
 			lastErr = err
-			time.Sleep(100 * time.Millisecond)
+			time.Sleep(retryInterval)
 			continue
 		}
 		b, err := io.ReadAll(resp.Body)
@@ -132,7 +158,7 @@ func fetchURL(url string) ([]byte, error) {
 		default:
 			return b, nil
 		}
-		time.Sleep(100 * time.Millisecond)
+		time.Sleep(retryInterval)
 	}
 	return nil, lastErr
 }
@@ -143,7 +169,7 @@ func fetchURL(url string) ([]byte, error) {
 // legitimately still read zero on early scrapes.
 func scrapeProm(url string, require []string) ([]byte, int, error) {
 	var lastErr error
-	for attempt := 0; attempt < 50; attempt++ {
+	for attempt, tries := 0, retryAttempts(); attempt < tries; attempt++ {
 		b, err := fetchURL(url)
 		if err != nil {
 			return nil, 0, err
@@ -154,7 +180,7 @@ func scrapeProm(url string, require []string) ([]byte, int, error) {
 		}
 		if err := checkRequired(b, require); err != nil {
 			lastErr = err
-			time.Sleep(100 * time.Millisecond)
+			time.Sleep(retryInterval)
 			continue
 		}
 		return b, n, nil
@@ -262,7 +288,44 @@ func checkCSV(b []byte) (int, error) {
 			return 0, err
 		}
 	}
+	if isJainHeader(recs[0]) {
+		if err := checkJainCSV(recs); err != nil {
+			return 0, err
+		}
+	}
 	return len(recs) - 1, nil
+}
+
+// isJainHeader recognizes the token-fairness Jain-index artifact by its
+// header (flightrec.FairnessJainCSVHeader) so the (0,1] bound applies
+// regardless of file name.
+func isJainHeader(rec []string) bool {
+	if len(rec) != len(flightrec.FairnessJainCSVHeader) {
+		return false
+	}
+	for i, col := range flightrec.FairnessJainCSVHeader {
+		if rec[i] != col {
+			return false
+		}
+	}
+	return true
+}
+
+// checkJainCSV enforces the Jain fairness bound on every channel row:
+// the index is (Σx)²/(n·Σx²), which lies in (0, 1] for any allocation
+// (empty channels report 1 by convention), so any value outside the
+// bound is an emitter bug.
+func checkJainCSV(recs [][]string) error {
+	for i, rec := range recs[1:] {
+		j, err := strconv.ParseFloat(rec[5], 64)
+		if err != nil {
+			return fmt.Errorf("jain CSV row %d: bad jain_index %q", i+1, rec[5])
+		}
+		if math.IsNaN(j) || j <= 0 || j > 1 {
+			return fmt.Errorf("jain CSV row %d (%s): jain_index %g outside (0,1]", i+1, rec[0], j)
+		}
+	}
+	return nil
 }
 
 // isBreakdownHeader recognizes the latency-breakdown artifact by its
@@ -361,10 +424,15 @@ func checkEnergyCSV(recs [][]string) error {
 	return nil
 }
 
+// checkNDJSON validates one-JSON-object-per-line framing. Flight
+// recorder state dumps are recognized by a first record with
+// rec=="meta"; in a dump, the meta record must carry its cycle and
+// reason and every subsequent line must carry a string "rec" tag.
 func checkNDJSON(b []byte) (int, error) {
 	sc := bufio.NewScanner(strings.NewReader(string(b)))
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
 	n := 0
+	dump := false
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
@@ -373,6 +441,18 @@ func checkNDJSON(b []byte) (int, error) {
 		var v map[string]any
 		if err := json.Unmarshal(line, &v); err != nil {
 			return 0, fmt.Errorf("line %d: invalid JSON object: %v", n+1, err)
+		}
+		rec, hasRec := v["rec"].(string)
+		if n == 0 && hasRec && rec == "meta" {
+			dump = true
+			if _, ok := v["cycle"].(float64); !ok {
+				return 0, fmt.Errorf("dump meta record lacks a numeric cycle")
+			}
+			if s, ok := v["reason"].(string); !ok || s == "" {
+				return 0, fmt.Errorf("dump meta record lacks a reason")
+			}
+		} else if dump && !hasRec {
+			return 0, fmt.Errorf("dump line %d lacks a \"rec\" tag", n+1)
 		}
 		n++
 	}

@@ -18,6 +18,7 @@ import (
 
 	"ownsim/internal/core"
 	"ownsim/internal/fabric"
+	"ownsim/internal/flightrec"
 	"ownsim/internal/obs"
 	"ownsim/internal/power"
 	"ownsim/internal/probe"
@@ -55,6 +56,13 @@ func main() {
 	breakdown := flag.String("latency-breakdown", "", "write the per-phase latency attribution (CSV+NDJSON+stacked-bar SVG) with this path prefix")
 	pprofFlag := flag.Bool("pprof", false, "mount Go runtime profiling under /debug/pprof/ on the -listen server")
 	reservoir := flag.Int("reservoir", 0, "exact-percentile latency reservoir size in packets (0 = default 65536)")
+	fairness := flag.String("fairness", "", "write token-fairness artifacts (per-tile wait CSV, per-channel Jain CSV, heatmap SVG) with this path prefix")
+	dumpOnExit := flag.String("dump-on-exit", "", "write a full state dump (NDJSON + text) with this path prefix after the run")
+	wdStarve := flag.Uint64("watchdog-starve", 0, "trip the watchdog when a writer waits more than this many cycles for a channel token (0 = off)")
+	wdStall := flag.Int("watchdog-stall", 0, "trip the watchdog after this many check windows without ejection progress while flits are in flight (0 = off)")
+	wdSat := flag.Int("watchdog-sat", 0, "trip the watchdog after this many consecutive check windows with a channel >=95% busy (0 = off)")
+	wdEvery := flag.Uint64("watchdog-every", flightrec.DefaultCheckEveryCy, "watchdog check window in simulated cycles")
+	stallTimeout := flag.Duration("stall-timeout", 0, "dump goroutine stacks to stderr when the simulated cycle stops advancing for this long of wall time (0 = off)")
 	flag.Parse()
 
 	pat, err := traffic.ParsePattern(*pattern)
@@ -109,17 +117,39 @@ func main() {
 	if *pprofFlag && *listen == "" {
 		log.Fatal("-pprof requires -listen")
 	}
+	// The flight recorder backs the fairness/dump artifacts, the watchdog
+	// detectors and the /debug/dump endpoint; like the probe it is inert.
+	flightrecOn := *fairness != "" || *dumpOnExit != "" || *listen != "" ||
+		*wdStarve > 0 || *wdStall > 0 || *wdSat > 0 || *stallTimeout > 0
+	var fr *flightrec.FlightRecorder
+	if flightrecOn {
+		fr = flightrec.New(flightrec.Options{Watchdog: flightrec.WatchdogConfig{
+			CheckEveryCy:   *wdEvery,
+			StarveBudgetCy: *wdStarve,
+			StallWindows:   *wdStall,
+			SatWindows:     *wdSat,
+		}})
+		fr.Dog.OnTrip = func(reason string, snap *flightrec.Snapshot) {
+			fmt.Fprintf(os.Stderr, "ownsim: WATCHDOG TRIP: %s\n", reason)
+			if err := snap.WriteText(os.Stderr); err != nil {
+				log.Printf("watchdog dump failed: %v", err)
+			}
+		}
+		n.InstallFlightRecorder(fr)
+	}
 	var pb *probe.Probe
-	if *metrics != "" || *trace != "" || *listen != "" || *heatmap != "" || *breakdown != "" {
+	if *metrics != "" || *trace != "" || *heatmap != "" || *breakdown != "" || flightrecOn {
 		if *sample == 0 {
 			log.Fatal("-sample must be >= 1")
 		}
-		// Heatmaps need per-router counters to resolve congestion per tile.
+		// Heatmaps need per-router counters to resolve congestion per tile;
+		// fairness and dumps need span decomposition for token waits and
+		// in-flight packet phases.
 		opts := probe.Options{
 			PerComponent: *percomp || *heatmap != "",
-			Spans:        *breakdown != "",
+			Spans:        *breakdown != "" || *fairness != "" || *dumpOnExit != "",
 		}
-		if *metrics != "" || *listen != "" {
+		if *metrics != "" || *listen != "" || flightrecOn {
 			if *window == 0 {
 				log.Fatal("-window must be >= 1")
 			}
@@ -142,6 +172,10 @@ func main() {
 		if *pprofFlag {
 			srv.EnablePprof()
 		}
+		srv.SetBuildInfo(probe.ReadBuildInfo())
+		if fr != nil {
+			srv.SetDumpProvider(fr.Dog.RequestDump)
+		}
 		addr, err := srv.Start(*listen)
 		if err != nil {
 			log.Fatal(err)
@@ -149,10 +183,20 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "ownsim: live telemetry on http://%s/metrics\n", addr)
 	}
+	if *stallTimeout > 0 {
+		timeout := *stallTimeout
+		stop := fr.Dog.StartWall(timeout, func(cycle uint64, stacks []byte) {
+			fmt.Fprintf(os.Stderr, "ownsim: no cycle progress for %s at cycle %d; goroutine stacks:\n%s", timeout, cycle, stacks)
+		})
+		defer stop()
+	}
 	res := n.Run(
 		fabric.TrafficSpec{Pattern: pat, Rate: *load, Seed: *seed, Policy: sys.Policy, Classify: sys.Classify},
 		fabric.RunSpec{Warmup: *warmup, Measure: *measure, ReservoirCap: *reservoir},
 	)
+	if fr != nil {
+		fr.Dog.Finish(n.Eng.Cycle())
+	}
 	if srv != nil {
 		srv.MarkDone()
 	}
@@ -181,19 +225,23 @@ func main() {
 		man = &probe.Manifest{
 			Tool: "ownsim",
 			Config: map[string]string{
-				"topo":      *topo,
-				"cores":     strconv.Itoa(*cores),
-				"pattern":   pat.String(),
-				"load":      strconv.FormatFloat(*load, 'g', -1, 64),
-				"config":    strconv.Itoa(*config),
-				"scenario":  *scenario,
-				"warmup":    strconv.FormatUint(*warmup, 10),
-				"measure":   strconv.FormatUint(*measure, 10),
-				"reconfig":  strconv.FormatBool(*reconfig),
-				"fail":      *fail,
-				"sample":    strconv.FormatUint(*sample, 10),
-				"window":    strconv.FormatUint(*window, 10),
-				"reservoir": strconv.Itoa(*reservoir),
+				"topo":            *topo,
+				"cores":           strconv.Itoa(*cores),
+				"pattern":         pat.String(),
+				"load":            strconv.FormatFloat(*load, 'g', -1, 64),
+				"config":          strconv.Itoa(*config),
+				"scenario":        *scenario,
+				"warmup":          strconv.FormatUint(*warmup, 10),
+				"measure":         strconv.FormatUint(*measure, 10),
+				"reconfig":        strconv.FormatBool(*reconfig),
+				"fail":            *fail,
+				"sample":          strconv.FormatUint(*sample, 10),
+				"window":          strconv.FormatUint(*window, 10),
+				"reservoir":       strconv.Itoa(*reservoir),
+				"watchdog_every":  strconv.FormatUint(*wdEvery, 10),
+				"watchdog_starve": strconv.FormatUint(*wdStarve, 10),
+				"watchdog_stall":  strconv.Itoa(*wdStall),
+				"watchdog_sat":    strconv.Itoa(*wdSat),
 			},
 			Cores:   *cores,
 			Seed:    *seed,
@@ -202,6 +250,7 @@ func main() {
 		}
 		ei, pi := n.EngineIntro(), n.PoolIntro()
 		man.Engine, man.Pools = &ei, &pi
+		man.Build = probe.ReadBuildInfo()
 	}
 	if pb != nil {
 		if err := probe.EmitFiles(pb, *metrics, *trace, man); err != nil {
@@ -239,6 +288,24 @@ func main() {
 		if mm := pb.Spans().Mismatches(); mm > 0 {
 			fmt.Printf("  WARNING: %d packets failed the span sum identity\n", mm)
 		}
+	}
+	if *fairness != "" {
+		files, err := obs.EmitFairness(n, *fairness, man)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fairness:    %s\n", strings.Join(files, ", "))
+	}
+	if *dumpOnExit != "" {
+		files, err := obs.EmitDump(n, *dumpOnExit, man)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("dump:        %s\n", strings.Join(files, ", "))
+	}
+	if fr != nil && fr.Dog.Trips() > 0 {
+		fmt.Printf("  WARNING: watchdog tripped %d time(s); first: %s\n",
+			fr.Dog.Trips(), fr.Dog.TripReasons()[0])
 	}
 	if man != nil {
 		if err := probe.WriteManifestFile(man, *manifest); err != nil {

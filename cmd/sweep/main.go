@@ -34,6 +34,7 @@ import (
 
 	"ownsim/internal/core"
 	"ownsim/internal/fabric"
+	"ownsim/internal/flightrec"
 	"ownsim/internal/obs"
 	"ownsim/internal/plot"
 	"ownsim/internal/power"
@@ -68,6 +69,8 @@ func main() {
 	breakdown := flag.String("latency-breakdown", "", "write the instrumented point's per-phase latency attribution (CSV+NDJSON+stacked-bar SVG) with this path prefix (single -topo)")
 	pprofFlag := flag.Bool("pprof", false, "mount Go runtime profiling under /debug/pprof/ on the -listen server")
 	reservoir := flag.Int("reservoir", 0, "exact-percentile latency reservoir size in packets per run (0 = default 65536)")
+	fairness := flag.String("fairness", "", "write the instrumented point's token-fairness artifacts (per-tile wait CSV, Jain CSV, heatmap SVG) with this path prefix (single -topo)")
+	dumpOnExit := flag.String("dump-on-exit", "", "write the instrumented point's full state dump (NDJSON + text) with this path prefix (single -topo)")
 	flag.Parse()
 
 	pat, err := traffic.ParsePattern(*pattern)
@@ -79,9 +82,10 @@ func main() {
 		names = []string{*topo}
 	}
 	instrumented := *telemetry > 0 || *metrics != "" || *trace != "" ||
-		*listen != "" || *energyPath != "" || *heatmap != "" || *breakdown != ""
+		*listen != "" || *energyPath != "" || *heatmap != "" || *breakdown != "" ||
+		*fairness != "" || *dumpOnExit != ""
 	if (instrumented || *dot != "") && *topo == "all" {
-		log.Fatal("-telemetry, -dot, -metrics, -trace, -listen, -energy, -heatmap and -latency-breakdown need a single -topo")
+		log.Fatal("-telemetry, -dot, -metrics, -trace, -listen, -energy, -heatmap, -latency-breakdown, -fairness and -dump-on-exit need a single -topo")
 	}
 	if *pprofFlag && *listen == "" {
 		log.Fatal("-pprof requires -listen")
@@ -109,6 +113,7 @@ func main() {
 			},
 			Cores: *cores,
 			Seed:  *seed,
+			Build: probe.ReadBuildInfo(),
 		}
 	}
 
@@ -165,12 +170,22 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sweep: wrote topology graph to %s\n", *dot)
 		}
 		if instrumented {
-			// Heatmaps need per-router counters for per-tile congestion.
+			// The flight recorder backs the fairness/dump artifacts and the
+			// /debug/dump endpoint; install before the probe so the probe
+			// hooks feed its stall tracker.
+			flightrecOn := *fairness != "" || *dumpOnExit != "" || *listen != ""
+			var fr *flightrec.FlightRecorder
+			if flightrecOn {
+				fr = flightrec.New(flightrec.Options{})
+				n.InstallFlightRecorder(fr)
+			}
+			// Heatmaps need per-router counters for per-tile congestion;
+			// fairness and dumps need span decomposition for token waits.
 			opts := probe.Options{
 				PerComponent: *heatmap != "",
-				Spans:        *breakdown != "",
+				Spans:        *breakdown != "" || *fairness != "" || *dumpOnExit != "",
 			}
-			if *metrics != "" || *listen != "" {
+			if *metrics != "" || *listen != "" || flightrecOn {
 				opts.MetricsEvery = *window
 			}
 			if *trace != "" {
@@ -188,6 +203,10 @@ func main() {
 				if *pprofFlag {
 					srv.EnablePprof()
 				}
+				srv.SetBuildInfo(probe.ReadBuildInfo())
+				if fr != nil {
+					srv.SetDumpProvider(fr.Dog.RequestDump)
+				}
 				addr, err := srv.Start(*listen)
 				if err != nil {
 					log.Fatal(err)
@@ -200,6 +219,9 @@ func main() {
 				fabric.TrafficSpec{Pattern: pat, Rate: loads[last], Seed: b.Seed + uint64(last), Policy: sys.Policy, Classify: sys.Classify},
 				fabric.RunSpec{Warmup: b.Warmup, Measure: b.Measure, ReservoirCap: *reservoir},
 			)
+			if fr != nil {
+				fr.Dog.Finish(n.Eng.Cycle())
+			}
 			if srv != nil {
 				srv.MarkDone()
 			}
@@ -236,6 +258,20 @@ func main() {
 				if mm := pb.Spans().Mismatches(); mm > 0 {
 					fmt.Fprintf(os.Stderr, "sweep: WARNING: %d packets failed the span sum identity\n", mm)
 				}
+			}
+			if *fairness != "" {
+				files, err := obs.EmitFairness(n, *fairness, man)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Fprintf(os.Stderr, "sweep: wrote fairness artifacts: %s\n", strings.Join(files, ", "))
+			}
+			if *dumpOnExit != "" {
+				files, err := obs.EmitDump(n, *dumpOnExit, man)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Fprintf(os.Stderr, "sweep: wrote state dump: %s\n", strings.Join(files, ", "))
 			}
 			if man != nil {
 				ei, pi := n.EngineIntro(), n.PoolIntro()

@@ -151,6 +151,7 @@ func BuildOWN256(p Params) *fabric.Network {
 	plan := wireless.PlanOWN256(p.Config, p.Scenario)
 	n := fabric.New(fmt.Sprintf("own256-%s-%s", p.Config, p.Scenario), 256, p.Meter)
 	n.Diameter = 4 // src tile, TX antenna router, RX antenna router, dst tile
+	n.CoresPerTile = CoresPerTile
 
 	// txTile[c][d] is the local tile hosting the transmitter for
 	// cluster c -> cluster d.

@@ -95,6 +95,7 @@ func BuildOWN1024(p Params) *fabric.Network {
 	plan := wireless.PlanOWN1024(p.Config, p.Scenario)
 	n := fabric.New(fmt.Sprintf("own1024-%s-%s", p.Config, p.Scenario), 1024, p.Meter)
 	n.Diameter = 4
+	n.CoresPerTile = CoresPerTile
 
 	const numGroups = 4
 	totalTiles := numGroups * ClustersPerGroup * TilesPerCluster

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 
+	"ownsim/internal/flightrec"
 	"ownsim/internal/noc"
 	"ownsim/internal/power"
 	"ownsim/internal/probe"
@@ -35,6 +36,9 @@ type Network struct {
 	// Probe is the installed observability layer; nil (the default)
 	// disables all instrumentation. See InstallProbe.
 	Probe *probe.Probe
+	// FlightRec is the installed diagnostics layer (ring recorder, stall
+	// tracker, watchdog); nil disables it. See InstallFlightRecorder.
+	FlightRec *flightrec.FlightRecorder
 
 	Routers []*router.Router
 	Sources []*router.Source
@@ -48,6 +52,10 @@ type Network struct {
 	// Diameter, when set by the topology, bounds packet hop counts;
 	// CheckInvariants verifies MaxHops against it.
 	Diameter int
+	// CoresPerTile is the topology's concentration (cores sharing one
+	// tile router); builders set it so diagnostics can aggregate
+	// per-tile. 0 is treated as 1 (one core per tile).
+	CoresPerTile int
 }
 
 // New creates an empty network shell. Cores (terminals) are added with

@@ -1,0 +1,202 @@
+package fabric
+
+import (
+	"fmt"
+
+	"ownsim/internal/flightrec"
+	"ownsim/internal/probe"
+	"ownsim/internal/sim"
+)
+
+// InstallFlightRecorder wires a flight recorder into an assembled
+// network: it sizes the per-tile stall tracker from the topology,
+// enables token-wait tracking on every shared channel, and schedules
+// the deterministic watchdog in the engine's Collect phase. Call it
+// after the topology builder and BEFORE InstallProbe — the probe
+// installer hooks the stall tracker into the channel-transmit path and
+// registers the token/stall gauges behind the established columns. A
+// nil recorder is a no-op. Like the probe layer, the recorder is inert:
+// it only reads state the simulation already maintains, so installing
+// it never changes a Result.
+func (n *Network) InstallFlightRecorder(fr *flightrec.FlightRecorder) {
+	if fr == nil {
+		return
+	}
+	if n.FlightRec != nil {
+		panic(fmt.Sprintf("fabric %s: flight recorder installed twice", n.Name))
+	}
+	if n.Probe != nil {
+		panic(fmt.Sprintf("fabric %s: install the flight recorder before the probe", n.Name))
+	}
+	n.FlightRec = fr
+
+	cpt := n.CoresPerTile
+	if cpt < 1 {
+		cpt = 1
+	}
+	fr.InitStall((n.NumCores + cpt - 1) / cpt)
+	for _, ch := range n.Channels {
+		fr.Stall.AddChannel(channelLabel(ch), ch.Kind)
+		ch.EnableStallTracking()
+	}
+
+	dog := fr.Dog
+	dog.Channels = n.Channels
+	dog.SnapshotFn = n.Snapshot
+	sinks, sources := n.Sinks, n.Sources
+	chans := n.Channels
+	dog.Progress = func() (ejected uint64, inFlight int) {
+		for _, s := range sinks {
+			if s != nil {
+				ejected += s.Ejected
+			}
+		}
+		inFlight = n.BufferedFlits()
+		for _, s := range sources {
+			if s != nil {
+				inFlight += s.QueueLen()
+			}
+		}
+		for _, ch := range chans {
+			inFlight += ch.Queued()
+		}
+		return ejected, inFlight
+	}
+	// Registered before the probe's sampler (InstallProbe runs later),
+	// so dump requests served at a watchdog tick see the recorder ring
+	// as of the previous completed sampler window.
+	n.Eng.Register(sim.PhaseCollect, dog)
+}
+
+// wireFlightRec registers the token-fairness and stall gauges and
+// subscribes the ring recorder to the sampler. InstallProbe calls it
+// last, so every flight-recorder column rides behind the established
+// metric layout and runs without a recorder are byte-identical to
+// before.
+func (n *Network) wireFlightRec(p *probe.Probe) {
+	fr := n.FlightRec
+	if fr == nil {
+		return
+	}
+	reg := p.Registry()
+	st := fr.Stall
+	kinds := [flightrec.NumKinds]string{
+		flightrec.KindPhotonic: "photonic",
+		flightrec.KindWireless: "wireless",
+	}
+	for k, name := range kinds {
+		k := k
+		reg.Gauge("token."+name+".acquisitions", func() float64 {
+			count, _, _ := st.KindTotals(k)
+			return float64(count)
+		})
+		reg.Gauge("token."+name+".wait_cy", func() float64 {
+			_, sum, _ := st.KindTotals(k)
+			return float64(sum)
+		})
+		reg.Gauge("token."+name+".max_wait_cy", func() float64 {
+			_, _, max := st.KindTotals(k)
+			return float64(max)
+		})
+	}
+	dog := fr.Dog
+	reg.Gauge("stall.watchdog_trips", func() float64 { return float64(dog.Trips()) })
+	eng := n.Eng
+	chans := n.Channels
+	budget := dog.Config().StarveBudgetCy
+	reg.Gauge("stall.starved_writers", func() float64 {
+		total := 0
+		for _, ch := range chans {
+			total += ch.StarvedWriters(eng.Cycle(), budget)
+		}
+		return float64(total)
+	})
+	reg.Gauge("stall.ch_queue_high_water", func() float64 {
+		total := 0
+		for _, ch := range chans {
+			total += ch.QueueHighWater()
+		}
+		return float64(total)
+	})
+	routers := n.Routers
+	reg.Gauge("stall.router_buf_high_water", func() float64 {
+		total := 0
+		for _, r := range routers {
+			total += r.BufferedHighWater()
+		}
+		return float64(total)
+	})
+	if s := p.Sampler(); s != nil {
+		rec := fr.Rec
+		rec.SetNames(reg.Names())
+		s.Subscribe(func(cycle uint64, values []float64) {
+			rec.Observe(cycle, values)
+		})
+	}
+}
+
+// Snapshot assembles the full diagnostic state dump the watchdog and
+// the /debug/dump endpoint serve. It must run on the simulation
+// goroutine (the watchdog's Tick serves cross-goroutine requests); it
+// reads but never mutates simulation state.
+func (n *Network) Snapshot(reason string) *flightrec.Snapshot {
+	cycle := n.Eng.Cycle()
+	snap := &flightrec.Snapshot{
+		Reason: reason,
+		Cycle:  cycle,
+		Net:    n.Name,
+		Cores:  n.NumCores,
+		Engine: n.EngineIntro(),
+		Pools:  n.PoolIntro(),
+	}
+	for _, s := range n.Sources {
+		if s == nil {
+			continue
+		}
+		snap.Progress.Generated += s.Generated
+		snap.Progress.Injected += s.Injected
+		snap.Progress.Dropped += s.Dropped
+		snap.Progress.SrcQueued += s.QueueLen()
+	}
+	for _, s := range n.Sinks {
+		if s != nil {
+			snap.Progress.Ejected += s.Ejected
+		}
+	}
+	snap.Progress.BufferedFlits = n.BufferedFlits()
+	for _, ch := range n.Channels {
+		snap.Progress.ChannelQueued += ch.Queued()
+		snap.Channels = append(snap.Channels, ch.Introspect())
+	}
+	for _, r := range n.Routers {
+		snap.Routers = append(snap.Routers, flightrec.RouterInfo{
+			ID:           r.Cfg.ID,
+			Buffered:     r.BufferedFlits(),
+			BufHighWater: r.BufferedHighWater(),
+		})
+	}
+	if n.Probe != nil {
+		if sp := n.Probe.Spans(); sp != nil {
+			for _, ls := range sp.LiveSpans() {
+				snap.Packets = append(snap.Packets, flightrec.PacketInfo{
+					ID:        ls.ID,
+					Src:       ls.Src,
+					Dst:       ls.Dst,
+					CreatedAt: ls.CreatedAt,
+					AgeCy:     cycle - ls.CreatedAt,
+					Phase:     ls.Phase.String(),
+					MarkCy:    ls.MarkCy,
+				})
+			}
+		}
+	}
+	snap.Starved = flightrec.CollectStarved(cycle, n.Channels)
+	if fr := n.FlightRec; fr != nil {
+		snap.Tiles = fr.Stall.Tiles()
+		snap.Trips = fr.Dog.Trips()
+		snap.TripReasons = fr.Dog.TripReasons()
+		snap.FrameNames = fr.Rec.Names()
+		snap.Frames = fr.Rec.Tail(0)
+	}
+	return snap
+}

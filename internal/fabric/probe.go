@@ -3,6 +3,7 @@ package fabric
 import (
 	"fmt"
 
+	"ownsim/internal/flightrec"
 	"ownsim/internal/noc"
 	"ownsim/internal/probe"
 	"ownsim/internal/router"
@@ -33,6 +34,9 @@ func (n *Network) InstallProbe(p *probe.Probe) {
 	if t, sp := p.Tracer(), p.Spans(); t != nil || sp != nil {
 		n.installPacketHooks(t, sp)
 	}
+	// Flight-recorder metrics ride behind every established column so
+	// artifact layouts without a recorder are unchanged.
+	n.wireFlightRec(p)
 }
 
 // registerMetrics populates the probe registry. Counters are placed on
@@ -350,7 +354,19 @@ func (n *Network) installPacketHooks(t *probe.Tracer, sp *probe.SpanTracker) {
 			}
 		}
 	}
-	for _, ch := range n.Channels {
+	// The channel-transmit hook feeds the stall tracker the exact wait
+	// the span tracker charges to token_wait, so fairness artifacts
+	// reconcile with the latency breakdown cycle for cycle. A nil
+	// tracker (no flight recorder) records nothing.
+	var st *flightrec.StallTracker
+	if n.FlightRec != nil {
+		st = n.FlightRec.Stall
+	}
+	cpt := n.CoresPerTile
+	if cpt < 1 {
+		cpt = 1
+	}
+	for ci, ch := range n.Channels {
 		cid := 0
 		if t != nil {
 			cid = t.Component(channelLabel(ch))
@@ -373,7 +389,10 @@ func (n *Network) installPacketHooks(t *probe.Tracer, sp *probe.SpanTracker) {
 		transit := channelTransit(ch)
 		swmrFwd := ch.Kind == "wireless" && ch.NumRx() > 1
 		ch.OnFlitTx = func(cycle uint64, f *noc.Flit, rx int) {
-			sp.ChannelTx(cycle, f, serCy, propCy, transit, swmrFwd)
+			wait, ok := sp.ChannelTx(cycle, f, serCy, propCy, transit, swmrFwd)
+			if ok {
+				st.Observe(ci, f.Pkt.Src/cpt, wait)
+			}
 			if f.IsHead() && t.Sampled(f.Pkt.ID) {
 				t.Emit(cycle, cid, probe.EvTransmit, f.Pkt, rx)
 			}

@@ -129,6 +129,7 @@ var DeterministicPackages = []string{
 	"internal/probe",
 	"internal/sbus",
 	"internal/obs",
+	"internal/flightrec",
 }
 
 // inScope reports whether relPath is within any of the listed

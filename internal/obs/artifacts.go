@@ -151,6 +151,90 @@ func EmitLatencyBreakdown(n *fabric.Network, prefix string, man *probe.Manifest)
 	return written, nil
 }
 
+// EmitFairness writes the token-fairness artifacts with the given path
+// prefix and returns the files written:
+//
+//	<prefix>_tiles.csv   — per-tile token acquisitions, wait totals and
+//	    max single waits per medium kind;
+//	<prefix>_jain.csv    — Jain's fairness index per shared channel over
+//	    its active tiles (cmd/obscheck enforces the (0,1] bound);
+//	<prefix>_heatmap.svg — per-tile total token-wait heatmap.
+//
+// It requires an installed flight recorder (the stall tracker feeds
+// from the same hook that charges span token_wait, so these artifacts
+// reconcile with the latency breakdown).
+func EmitFairness(n *fabric.Network, prefix string, man *probe.Manifest) ([]string, error) {
+	if n.FlightRec == nil || n.FlightRec.Stall == nil {
+		return nil, fmt.Errorf("obs: token-fairness artifacts requested but no flight recorder is installed")
+	}
+	st := n.FlightRec.Stall
+	var written []string
+	emit := func(name, path string, content []byte) error {
+		if err := writeArtifact(name, path, content, man); err != nil {
+			return err
+		}
+		written = append(written, path)
+		return nil
+	}
+
+	var buf bytes.Buffer
+	if err := st.WriteTileCSV(&buf); err != nil {
+		return written, err
+	}
+	if err := emit("token_fairness_tiles", prefix+"_tiles.csv", buf.Bytes()); err != nil {
+		return written, err
+	}
+	buf.Reset()
+	if err := st.WriteJainCSV(&buf); err != nil {
+		return written, err
+	}
+	if err := emit("token_fairness_jain", prefix+"_jain.csv", buf.Bytes()); err != nil {
+		return written, err
+	}
+	hm := &plot.Heatmap{
+		Title:  fmt.Sprintf("%s: per-tile token wait (cy)", n.Name),
+		Labels: st.TileLabels(),
+		Values: st.TileWaitValues(),
+	}
+	if err := emit("token_fairness_heatmap", prefix+"_heatmap.svg", []byte(hm.SVG())); err != nil {
+		return written, err
+	}
+	return written, nil
+}
+
+// EmitDump writes the end-of-run state dump with the given path prefix
+// (<prefix>.ndjson plus the human-readable <prefix>.txt) and returns
+// the files written. It requires an installed flight recorder.
+func EmitDump(n *fabric.Network, prefix string, man *probe.Manifest) ([]string, error) {
+	if n.FlightRec == nil {
+		return nil, fmt.Errorf("obs: state dump requested but no flight recorder is installed")
+	}
+	snap := n.Snapshot("exit")
+	var written []string
+	emit := func(name, path string, content []byte) error {
+		if err := writeArtifact(name, path, content, man); err != nil {
+			return err
+		}
+		written = append(written, path)
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := snap.WriteNDJSON(&buf); err != nil {
+		return written, err
+	}
+	if err := emit("state_dump", prefix+".ndjson", buf.Bytes()); err != nil {
+		return written, err
+	}
+	buf.Reset()
+	if err := snap.WriteText(&buf); err != nil {
+		return written, err
+	}
+	if err := emit("state_dump_text", prefix+".txt", buf.Bytes()); err != nil {
+		return written, err
+	}
+	return written, nil
+}
+
 // writeArtifact writes content to path and digests it into the manifest.
 func writeArtifact(name, path string, content []byte, man *probe.Manifest) error {
 	if err := os.WriteFile(path, content, 0o644); err != nil {

@@ -67,6 +67,13 @@ type Server struct {
 	// pprof mounts the runtime profiling handlers under /debug/pprof/;
 	// set before Start via EnablePprof.
 	pprof bool
+	// dumpFn serves /debug/dump state dumps; set before Start via
+	// SetDumpProvider (typically flightrec.Watchdog.RequestDump, which
+	// hands the request to the simulation goroutine).
+	dumpFn func(format string) ([]byte, error)
+	// build identifies the binary in /healthz; set before Start via
+	// SetBuildInfo.
+	build *probe.BuildInfo
 }
 
 // subscriber is one connected /events client.
@@ -129,6 +136,19 @@ func (s *Server) MarkDone() {
 	s.mu.Unlock()
 }
 
+// SetDumpProvider mounts a /debug/dump endpoint serving full state
+// dumps from the given provider. Call before Start. The provider is
+// invoked once per request with the ?format= query value ("" means
+// ndjson); it must be safe to call from HTTP goroutines — the flight
+// recorder's watchdog satisfies this by bridging requests onto the
+// simulation goroutine.
+func (s *Server) SetDumpProvider(fn func(format string) ([]byte, error)) { s.dumpFn = fn }
+
+// SetBuildInfo attaches binary provenance (module version, VCS
+// revision) to the /healthz payload. Call before Start; nil hides the
+// section.
+func (s *Server) SetBuildInfo(bi *probe.BuildInfo) { s.build = bi }
+
 // EnablePprof mounts Go's runtime profiling handlers (net/http/pprof)
 // under /debug/pprof/ on the telemetry server. Call before Start. The
 // profiler reads runtime state only — like every other endpoint it
@@ -147,6 +167,9 @@ func (s *Server) Start(addr string) (string, error) {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/events", s.handleEvents)
+	if s.dumpFn != nil {
+		mux.HandleFunc("/debug/dump", s.handleDump)
+	}
 	if s.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -226,8 +249,33 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"write_errors": s.writeErrs,
 	}
 	s.mu.Unlock()
+	if s.build != nil {
+		payload["build"] = s.build
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(payload); err != nil {
+		s.noteWriteErr()
+	}
+}
+
+// handleDump serves a full simulation state dump. The default (and
+// "?format=ndjson") rendering is newline-delimited JSON; "?format=text"
+// is the human-readable variant. While the simulation runs the dump is
+// rendered on the simulation goroutine at the next engine tick, so the
+// bytes reflect one consistent cycle.
+func (s *Server) handleDump(w http.ResponseWriter, r *http.Request) {
+	format := r.URL.Query().Get("format")
+	data, err := s.dumpFn(format)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if format == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	if _, err := w.Write(data); err != nil {
 		s.noteWriteErr()
 	}
 }

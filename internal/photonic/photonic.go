@@ -127,6 +127,7 @@ func BuildCrossbar(n *fabric.Network, name string, routers []*router.Router, pm 
 					continue
 				}
 				wr := ch.AddWriter(routers[w], pm.WriterPort(w, t), spec.NumVCs, spec.BufDepth)
+				wr.SetID(routers[w].Cfg.ID)
 				for _, vc := range group {
 					writerBy[w].byVC[vc] = wr
 				}

@@ -1,0 +1,150 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+// The fairness artifacts render degenerate inputs routinely — an idle
+// network yields all-zero tile waits, a one-channel topology a
+// single-cell heatmap, an empty series no data at all. Every such input
+// must still produce a valid, deterministic SVG with no NaN geometry.
+
+func assertValidSVG(t *testing.T, svg string) {
+	t.Helper()
+	if !strings.HasPrefix(svg, "<svg ") {
+		t.Fatalf("output is not an SVG document: %.60q", svg)
+	}
+	for _, bad := range []string{"NaN", "Inf", "-Inf"} {
+		// Values may legitimately render in <title> tooltips; geometry
+		// attributes must never carry them.
+		for _, attr := range []string{"x=\"", "y=\"", "width=\"", "height=\""} {
+			if strings.Contains(svg, attr+bad) {
+				t.Errorf("SVG geometry contains %s%s", attr, bad)
+			}
+		}
+	}
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		tok, err := dec.Token()
+		if tok == nil {
+			break
+		}
+		if err != nil {
+			t.Fatalf("SVG is not well-formed XML: %v", err)
+		}
+	}
+}
+
+func TestHeatmapEmptyValues(t *testing.T) {
+	h := &Heatmap{Title: "empty"}
+	svg := h.SVG()
+	assertValidSVG(t, svg)
+	if svg != h.SVG() {
+		t.Error("empty heatmap renders nondeterministically")
+	}
+	var buf bytes.Buffer
+	if err := h.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Split(strings.TrimSpace(buf.String()), "\n"); len(lines) != 1 {
+		t.Errorf("empty heatmap CSV has %d lines, want header only", len(lines))
+	}
+}
+
+func TestHeatmapSingleCell(t *testing.T) {
+	h := &Heatmap{Title: "one", Labels: []string{"t0"}, Values: []float64{42}}
+	svg := h.SVG()
+	assertValidSVG(t, svg)
+	if !strings.Contains(svg, "t0 = 42") {
+		t.Error("single-cell tooltip missing")
+	}
+	if !strings.Contains(svg, "(1 cells)") {
+		t.Error("legend missing cell count")
+	}
+	var buf bytes.Buffer
+	if err := h.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0,0,0,t0,42") {
+		t.Errorf("single-cell CSV row missing:\n%s", buf.String())
+	}
+}
+
+func TestHeatmapAllZeroValues(t *testing.T) {
+	// An idle run's fairness heatmap: every tile waited zero cycles. The
+	// min==max span collapses; the ramp must stay at its floor with no
+	// division blowup.
+	h := &Heatmap{Title: "idle", Values: make([]float64, 16)}
+	svg := h.SVG()
+	assertValidSVG(t, svg)
+	if !strings.Contains(svg, "min 0  max 0") {
+		t.Error("all-zero legend should report min 0 max 0")
+	}
+	if svg != h.SVG() {
+		t.Error("all-zero heatmap renders nondeterministically")
+	}
+}
+
+func TestStackedBarAllZero(t *testing.T) {
+	s := &StackedBar{
+		Title:  "no traffic",
+		Labels: []string{"a", "b", "c"},
+		Values: []float64{0, 0, 0},
+	}
+	svg := s.SVG()
+	assertValidSVG(t, svg)
+	// No segments, but the legend still lists every phase with 0 share.
+	for _, want := range []string{"a 0 (0)", "b 0 (0)", "c 0 (0)"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("all-zero legend missing %q", want)
+		}
+	}
+	if svg != s.SVG() {
+		t.Error("all-zero stacked bar renders nondeterministically")
+	}
+}
+
+func TestStackedBarEmpty(t *testing.T) {
+	s := &StackedBar{Title: "empty"}
+	assertValidSVG(t, s.SVG())
+}
+
+func TestStackedBarNonFiniteAndNegative(t *testing.T) {
+	s := &StackedBar{
+		Title:  "degenerate",
+		Labels: []string{"ok", "neg", "nan", "inf"},
+		Values: []float64{10, -5, nanValue(), infValue()},
+	}
+	svg := s.SVG()
+	assertValidSVG(t, svg)
+	// The finite positive segment takes the whole bar.
+	if !strings.Contains(svg, "ok 10 (1)") {
+		t.Error("finite segment should own 100% of the bar")
+	}
+}
+
+func TestHeatmapSingleFiniteAmongNonFinite(t *testing.T) {
+	h := &Heatmap{
+		Title:  "mixed",
+		Labels: []string{"a", "b", "c"},
+		Values: []float64{nanValue(), 7, infValue()},
+	}
+	svg := h.SVG()
+	assertValidSVG(t, svg)
+	if !strings.Contains(svg, "min 7  max 7") {
+		t.Error("legend should span only the finite values")
+	}
+}
+
+func nanValue() float64 {
+	z := 0.0
+	return z / z
+}
+
+func infValue() float64 {
+	z := 0.0
+	return 1 / z
+}

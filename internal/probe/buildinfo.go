@@ -1,0 +1,47 @@
+package probe
+
+import "runtime/debug"
+
+// BuildInfo stamps artifacts with the binary's provenance so any emitted
+// file can be traced back to a commit. All fields are properties of the
+// build, not of the run, so including them keeps manifests deterministic
+// for a given binary (the repository's byte-identity tests compare
+// artifacts produced by one binary).
+type BuildInfo struct {
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version,omitempty"`
+	// Module is the main module path.
+	Module string `json:"module,omitempty"`
+	// Version is the main module version ("(devel)" for source builds).
+	Version string `json:"version,omitempty"`
+	// Revision is the VCS commit hash embedded by the toolchain; empty
+	// when the build had no VCS stamping (e.g. `go test` binaries).
+	Revision string `json:"revision,omitempty"`
+	// Modified reports uncommitted changes at build time ("true"/"false",
+	// empty when unknown).
+	Modified string `json:"modified,omitempty"`
+}
+
+// ReadBuildInfo extracts the provenance stamp via debug.ReadBuildInfo.
+// It returns nil when the runtime carries no build information (non-
+// module builds); callers treat nil as "unstamped".
+func ReadBuildInfo() *BuildInfo {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return nil
+	}
+	out := &BuildInfo{
+		GoVersion: bi.GoVersion,
+		Module:    bi.Main.Path,
+		Version:   bi.Main.Version,
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			out.Revision = s.Value
+		case "vcs.modified":
+			out.Modified = s.Value
+		}
+	}
+	return out
+}

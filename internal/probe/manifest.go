@@ -39,6 +39,9 @@ type Manifest struct {
 	Pools *PoolIntro `json:"pools,omitempty"`
 	// Artifacts digests the files emitted alongside the manifest.
 	Artifacts []Artifact `json:"artifacts,omitempty"`
+	// Build stamps the emitting binary's provenance (module version and
+	// VCS revision via debug.ReadBuildInfo); nil when unstamped.
+	Build *BuildInfo `json:"build,omitempty"`
 }
 
 // EngineIntro is the run manifest's view of the engine's active-set

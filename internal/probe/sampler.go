@@ -27,6 +27,22 @@ type Sampler struct {
 	// feed anything back into the simulation; the slice is shared, so
 	// the observer must copy it if it retains the values.
 	OnSample func(cycle uint64, values []float64)
+
+	// subs are additional snapshot observers (see Subscribe); they run
+	// after OnSample, in subscription order, under the same contract.
+	subs []func(cycle uint64, values []float64)
+}
+
+// Subscribe adds a snapshot observer without displacing OnSample, so
+// several consumers (the live telemetry plane, the flight recorder) can
+// share one sampler. Subscribers run on the simulation goroutine after
+// OnSample, in subscription order, and must copy the values slice if
+// they retain it.
+func (s *Sampler) Subscribe(fn func(cycle uint64, values []float64)) {
+	if s == nil || fn == nil {
+		return
+	}
+	s.subs = append(s.subs, fn)
 }
 
 func newSampler(reg *Registry, every uint64) *Sampler {
@@ -56,6 +72,9 @@ func (s *Sampler) sample(cycle uint64) {
 	s.any = true
 	if s.OnSample != nil {
 		s.OnSample(cycle, s.rows[len(s.rows)-1])
+	}
+	for _, fn := range s.subs {
+		fn(cycle, s.rows[len(s.rows)-1])
 	}
 }
 

@@ -3,6 +3,7 @@ package probe
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 
 	"ownsim/internal/noc"
@@ -109,6 +110,11 @@ type spanState struct {
 	// next head switch or ejection) is charged to.
 	residual SpanPhase
 	acc      [NumSpanPhases]uint64
+	// src, dst and created record the packet's endpoints and admission
+	// cycle so live-state dumps can describe in-flight packets without
+	// holding packet pointers (which the pool recycles).
+	src, dst int
+	created  uint64
 }
 
 // SpanTracker accumulates per-phase latency attribution over the
@@ -150,6 +156,7 @@ func (s *SpanTracker) Enqueue(p *noc.Packet, cycle uint64) {
 	st := s.getState()
 	st.mark = cycle
 	st.residual = SpanElec
+	st.src, st.dst, st.created = p.Src, p.Dst, cycle
 	s.live[p.ID] = st
 }
 
@@ -188,15 +195,22 @@ func (s *SpanTracker) Switch(cycle uint64, f *noc.Flit) {
 // propagation delays are pre-attributed (the head is delivered exactly
 // serializeCy+propCy later). A SWMR wireless hop labels the following
 // residual interval as the inter-group forward.
-func (s *SpanTracker) ChannelTx(cycle uint64, f *noc.Flit, serializeCy, propCy int, transit SpanPhase, swmrFwd bool) {
+//
+// It returns the token-wait cycles just charged and whether anything
+// was charged at all (false for a nil tracker, non-head flits and
+// unmeasured packets), so per-tile fairness accounting can mirror the
+// span attribution exactly — the flight recorder's tile sums reconcile
+// with PhaseCycles(SpanTokenWait) by construction.
+func (s *SpanTracker) ChannelTx(cycle uint64, f *noc.Flit, serializeCy, propCy int, transit SpanPhase, swmrFwd bool) (tokenWaitCy uint64, ok bool) {
 	if s == nil || !f.IsHead() {
-		return
+		return 0, false
 	}
 	st := s.live[f.Pkt.ID]
 	if st == nil {
-		return
+		return 0, false
 	}
-	st.acc[SpanTokenWait] += cycle - st.mark
+	wait := cycle - st.mark
+	st.acc[SpanTokenWait] += wait
 	st.acc[SpanSerialize] += uint64(serializeCy)
 	st.acc[transit] += uint64(propCy)
 	st.mark = cycle + uint64(serializeCy) + uint64(propCy)
@@ -205,6 +219,7 @@ func (s *SpanTracker) ChannelTx(cycle uint64, f *noc.Flit, serializeCy, propCy i
 	} else {
 		st.residual = SpanElec
 	}
+	return wait, true
 }
 
 // Eject closes the packet's attribution at tail ejection, verifies the
@@ -288,6 +303,41 @@ func (s *SpanTracker) InFlight() int {
 		return 0
 	}
 	return len(s.live)
+}
+
+// LiveSpan describes one in-flight measured packet's open attribution
+// for state dumps: where it is going, when it was admitted, and which
+// phase its clock is currently running in.
+type LiveSpan struct {
+	// ID is the packet ID.
+	ID uint64
+	// Src and Dst are the packet's endpoint cores.
+	Src, Dst int
+	// CreatedAt is the source-queue admission cycle.
+	CreatedAt uint64
+	// MarkCy is the cycle up to which the lifetime is attributed.
+	MarkCy uint64
+	// Phase is the phase the currently open interval will be charged to.
+	Phase SpanPhase
+}
+
+// LiveSpans snapshots every in-flight attribution, sorted by packet ID
+// so the dump bytes are independent of map iteration order. It is a
+// diagnostic path (watchdog dumps, /debug/dump), not the hot path.
+func (s *SpanTracker) LiveSpans() []LiveSpan {
+	if s == nil || len(s.live) == 0 {
+		return nil
+	}
+	out := make([]LiveSpan, 0, len(s.live))
+	//lint:ignore maporder the slice is fully sorted by packet ID before return
+	for id, st := range s.live {
+		out = append(out, LiveSpan{
+			ID: id, Src: st.src, Dst: st.dst,
+			CreatedAt: st.created, MarkCy: st.mark, Phase: st.residual,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // SpanCSVHeader is the latency-breakdown CSV header. cmd/obscheck

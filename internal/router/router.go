@@ -150,6 +150,15 @@ type Router struct {
 	inBest  []*vcState
 	outBest []*vcState
 
+	// buffered mirrors the total flits across all input VC buffers
+	// (incremented on ReceiveFlit, decremented at the switch-allocation
+	// pop); bufHighWater is its all-time peak. Both are always on — two
+	// integer ops per flit — so occupancy diagnostics never walk the
+	// buffers; CheckInvariants cross-checks the mirror against
+	// BufferedFlits' recount.
+	buffered     int
+	bufHighWater int
+
 	now   uint64
 	waker *sim.Waker
 }
@@ -232,6 +241,10 @@ func (r *Router) ReceiveFlit(port int, f *noc.Flit) {
 		panic(fmt.Sprintf("router %d: buffer overflow port %d vc %d (credit protocol violation)", r.Cfg.ID, port, f.VC))
 	}
 	v.push(f)
+	r.buffered++
+	if r.buffered > r.bufHighWater {
+		r.bufHighWater = r.buffered
+	}
 	r.Cfg.Meter.BufWrite()
 	r.activate(v)
 }
@@ -330,6 +343,7 @@ func (r *Router) switchAllocate() {
 		}
 		op := r.out[p]
 		f := v.pop()
+		r.buffered--
 		f.VC = v.outVC
 		if f.IsHead() {
 			f.Pkt.Hops++
@@ -469,6 +483,9 @@ func (r *Router) CheckInvariants() error {
 			}
 		}
 	}
+	if got := r.BufferedFlits(); r.buffered != got {
+		return fmt.Errorf("router %d: buffered mirror %d != %d recounted flits", r.Cfg.ID, r.buffered, got)
+	}
 	return nil
 }
 
@@ -486,6 +503,10 @@ func (r *Router) BufferedFlits() int {
 	}
 	return total
 }
+
+// BufferedHighWater returns the all-time peak of simultaneously
+// buffered flits, for queue-occupancy diagnostics.
+func (r *Router) BufferedHighWater() int { return r.bufHighWater }
 
 // InputConnected reports whether input port p has been connected.
 func (r *Router) InputConnected(p int) bool { return r.in[p] != nil }

@@ -74,6 +74,18 @@ type Channel struct {
 	busyCy       uint64
 	tokenMoves   uint64
 	creditStall  uint64
+	// qHighWater is the peak totalQueued ever reached (always on: one
+	// compare per push; occupancy high-water diagnostics read it).
+	qHighWater int
+
+	// Per-writer token-wait tracking, nil until EnableStallTracking:
+	// waiting marks writers with queued flits but no grant, waitSince is
+	// the cycle the current wait opened, maxWait the longest completed
+	// wait. All three are indexed by writer; the flight-recorder watchdog
+	// scans them to detect starvation and name the starved writer.
+	waiting   []bool
+	waitSince []uint64
+	maxWait   []uint64
 }
 
 // NewChannel creates an empty channel; add writers and receivers before
@@ -104,13 +116,31 @@ type Writer struct {
 	srcPort int
 	queues  []flitFIFO
 	rrVC    int
+	// queued counts flits across this writer's queues (always on, so
+	// introspection never walks the queues on the hot path).
+	queued int
+	// id is a stable external label (the upstream router ID) the
+	// builders stamp via SetID; -1 when unstamped. Dumps use it to name
+	// the starved tile.
+	id int
 }
+
+// SetID labels the writer with a stable external identifier — the
+// builders stamp the upstream router ID — so diagnostics can name the
+// tile behind a writer index. Unstamped writers report -1.
+func (w *Writer) SetID(id int) { w.id = id }
+
+// ID returns the stamped external identifier, or -1.
+func (w *Writer) ID() int { return w.id }
+
+// Index returns the writer's index on its channel.
+func (w *Writer) Index() int { return w.idx }
 
 // AddWriter attaches a writer whose upstream output port is (src,
 // srcPort), with numVCs queues of queueDepth flits each. The upstream
 // port must be connected with exactly queueDepth credits per VC.
 func (c *Channel) AddWriter(src noc.CreditReceiver, srcPort, numVCs, queueDepth int) *Writer {
-	w := &Writer{ch: c, idx: len(c.writers), src: src, srcPort: srcPort, queues: make([]flitFIFO, numVCs)}
+	w := &Writer{ch: c, idx: len(c.writers), src: src, srcPort: srcPort, queues: make([]flitFIFO, numVCs), id: -1}
 	for i := range w.queues {
 		w.queues[i].init(queueDepth)
 	}
@@ -125,9 +155,22 @@ func (w *Writer) Send(f *noc.Flit) {
 		panic(fmt.Sprintf("sbus %s: writer %d vc %d queue overflow", w.ch.Name, w.idx, f.VC))
 	}
 	q.push(f)
-	w.ch.totalQueued++
-	if w.ch.waker != nil {
-		w.ch.waker.Wake()
+	w.queued++
+	c := w.ch
+	c.totalQueued++
+	if c.totalQueued > c.qHighWater {
+		c.qHighWater = c.totalQueued
+	}
+	// A writer whose first flit just arrived while another writer holds
+	// (or will contend for) the grant starts waiting for the token now.
+	// The wait closes in acquire; timestamps need the engine clock, so
+	// tracking is only live on waker-driven channels.
+	if c.waiting != nil && w.queued == 1 && c.lockedW != w.idx && c.waker != nil {
+		c.waiting[w.idx] = true
+		c.waitSince[w.idx] = c.waker.Now()
+	}
+	if c.waker != nil {
+		c.waker.Wake()
 	}
 }
 
@@ -247,6 +290,7 @@ func (c *Channel) transmitLocked(cycle uint64) {
 		return
 	}
 	q.pop()
+	w.queued--
 	c.totalQueued--
 	c.nTransmitted++
 	c.busyCy += uint64(c.SerializeCy)
@@ -264,6 +308,12 @@ func (c *Channel) transmitLocked(cycle uint64) {
 	}
 	if f.IsTail() {
 		c.lockedW = -1
+		// A writer with more packets pending goes straight back to
+		// waiting for re-arbitration.
+		if c.waiting != nil && w.queued > 0 {
+			c.waiting[w.idx] = true
+			c.waitSince[w.idx] = cycle
+		}
 		if c.OnRelease != nil {
 			c.OnRelease(cycle, f.Pkt)
 		}
@@ -302,6 +352,13 @@ func (c *Channel) acquire(cycle uint64) {
 		c.busyUntil = cycle + uint64(d*c.TokenHopCy)
 		c.token = wi
 		c.tokenMoves += uint64(d)
+		// The winner's token wait closes at the grant.
+		if c.waiting != nil && c.waiting[wi] {
+			if wait := cycle - c.waitSince[wi]; wait > c.maxWait[wi] {
+				c.maxWait[wi] = wait
+			}
+			c.waiting[wi] = false
+		}
 		if c.OnAcquire != nil {
 			c.OnAcquire(cycle, f.Pkt, d*c.TokenHopCy)
 		}
@@ -366,7 +423,179 @@ func (c *Channel) Stats() Stats {
 	}
 }
 
-// CheckInvariants validates credit bounds.
+// EnableStallTracking allocates the per-writer token-wait state (one
+// bool and two uint64 per writer). Call it after all writers are added
+// and before simulation; it is idempotent. Without it the waiting scan
+// APIs report nothing and the hot path pays only nil checks.
+func (c *Channel) EnableStallTracking() {
+	if c.waiting != nil {
+		return
+	}
+	n := len(c.writers)
+	c.waiting = make([]bool, n)
+	c.waitSince = make([]uint64, n)
+	c.maxWait = make([]uint64, n)
+}
+
+// QueueHighWater returns the peak number of flits ever queued across
+// the channel's writers at once.
+func (c *Channel) QueueHighWater() int { return c.qHighWater }
+
+// OldestWaiter returns the index and wait-start cycle of the writer
+// that has been waiting for the token the longest (ties break on the
+// lower index), or (-1, 0) when no writer waits or stall tracking is
+// off. The watchdog's starvation detector is built on it.
+func (c *Channel) OldestWaiter() (wi int, since uint64) {
+	wi = -1
+	for i, w := range c.waiting {
+		if w && (wi < 0 || c.waitSince[i] < since) {
+			wi, since = i, c.waitSince[i]
+		}
+	}
+	if wi < 0 {
+		return -1, 0
+	}
+	return wi, since
+}
+
+// StarvedWriters counts writers whose current token wait at the given
+// cycle exceeds budget cycles (0 when stall tracking is off).
+func (c *Channel) StarvedWriters(cycle, budget uint64) int {
+	n := 0
+	for i, w := range c.waiting {
+		if w && cycle-c.waitSince[i] > budget {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxTokenWaitCy returns the longest completed token wait any writer
+// has seen (0 when stall tracking is off). Waits still open do not
+// count; OldestWaiter exposes those.
+func (c *Channel) MaxTokenWaitCy() uint64 {
+	var max uint64
+	for _, w := range c.maxWait {
+		if w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+// WriterID returns the stamped external identifier of writer wi, or -1
+// when wi is out of range or unstamped.
+func (c *Channel) WriterID(wi int) int {
+	if wi < 0 || wi >= len(c.writers) {
+		return -1
+	}
+	return c.writers[wi].id
+}
+
+// WriterIntro is one writer's slice of a ChannelIntro snapshot.
+type WriterIntro struct {
+	// Index is the writer's position on the channel's token ring.
+	Index int `json:"idx"`
+	// ID is the stamped upstream router ID, or -1.
+	ID int `json:"id"`
+	// Queued counts flits across the writer's VC queues.
+	Queued int `json:"queued"`
+	// Waiting, WaitingSinceCy and MaxWaitCy mirror the stall-tracking
+	// state (all zero when tracking is off).
+	Waiting        bool   `json:"waiting,omitempty"`
+	WaitingSinceCy uint64 `json:"waiting_since_cy,omitempty"`
+	MaxWaitCy      uint64 `json:"max_wait_cy,omitempty"`
+	// HeadPkt/HeadSrc/HeadDst describe the packet at the front of the
+	// writer's lowest pending VC (HeadPkt 0 when nothing is queued).
+	HeadPkt uint64 `json:"head_pkt,omitempty"`
+	HeadSrc int    `json:"head_src,omitempty"`
+	HeadDst int    `json:"head_dst,omitempty"`
+}
+
+// ChannelIntro is a full point-in-time snapshot of a channel's
+// arbitration state for diagnostics dumps: token position, lock, queue
+// occupancy, per-writer wait state and receiver credit balances. It is
+// read-only and deterministic; building it walks every writer, so it is
+// a dump path, not a hot path.
+type ChannelIntro struct {
+	Name  string `json:"name"`
+	Kind  string `json:"kind,omitempty"`
+	Class string `json:"class,omitempty"`
+	// Token is the writer index holding (or last holding) the grant
+	// token; LockedWriter is -1 when the medium is free.
+	Token        int    `json:"token"`
+	LockedWriter int    `json:"locked_writer"`
+	LockedVC     int    `json:"locked_vc"`
+	LockedRx     int    `json:"locked_rx"`
+	BusyUntilCy  uint64 `json:"busy_until_cy"`
+	// Queued counts flits in writer queues; InFlight counts flits on
+	// the medium; QueueHighWater is the all-time occupancy peak.
+	Queued         int `json:"queued"`
+	InFlight       int `json:"in_flight"`
+	QueueHighWater int `json:"queue_high_water"`
+	// Cumulative Stats fields, flattened.
+	Transmitted   uint64 `json:"transmitted"`
+	BusyCy        uint64 `json:"busy_cy"`
+	TokenMoves    uint64 `json:"token_moves"`
+	CreditStallCy uint64 `json:"credit_stall_cy"`
+
+	Writers   []WriterIntro `json:"writers,omitempty"`
+	RxCredits [][]int       `json:"rx_credits,omitempty"`
+}
+
+// headInfo reads the front packet of the writer's lowest pending VC
+// without touching the round-robin pointer (introspection must be
+// side-effect free).
+func (w *Writer) headInfo() (id uint64, src, dst int) {
+	for vc := range w.queues {
+		if !w.queues[vc].empty() {
+			p := w.queues[vc].front().Pkt
+			return p.ID, p.Src, p.Dst
+		}
+	}
+	return 0, 0, 0
+}
+
+// Introspect snapshots the channel's full arbitration state.
+func (c *Channel) Introspect() ChannelIntro {
+	ci := ChannelIntro{
+		Name:           c.Name,
+		Kind:           c.Kind,
+		Class:          c.Class,
+		Token:          c.token,
+		LockedWriter:   c.lockedW,
+		LockedVC:       c.lockedVC,
+		LockedRx:       c.lockedRx,
+		BusyUntilCy:    c.busyUntil,
+		Queued:         c.totalQueued,
+		InFlight:       c.inflight.size,
+		QueueHighWater: c.qHighWater,
+		Transmitted:    c.nTransmitted,
+		BusyCy:         c.busyCy,
+		TokenMoves:     c.tokenMoves,
+		CreditStallCy:  c.creditStall,
+		Writers:        make([]WriterIntro, len(c.writers)),
+		RxCredits:      make([][]int, len(c.rxs)),
+	}
+	for i, w := range c.writers {
+		wi := WriterIntro{Index: i, ID: w.id, Queued: w.queued}
+		if c.waiting != nil {
+			wi.Waiting = c.waiting[i]
+			if c.waiting[i] {
+				wi.WaitingSinceCy = c.waitSince[i]
+			}
+			wi.MaxWaitCy = c.maxWait[i]
+		}
+		wi.HeadPkt, wi.HeadSrc, wi.HeadDst = w.headInfo()
+		ci.Writers[i] = wi
+	}
+	for i, r := range c.rxs {
+		ci.RxCredits[i] = append([]int(nil), r.credits...)
+	}
+	return ci
+}
+
+// CheckInvariants validates credit bounds and queue accounting.
 func (c *Channel) CheckInvariants() error {
 	for i, r := range c.rxs {
 		for vc, cr := range r.credits {
@@ -374,6 +603,20 @@ func (c *Channel) CheckInvariants() error {
 				return fmt.Errorf("sbus %s: rx %d vc %d credits %d out of [0,%d]", c.Name, i, vc, cr, r.maxCred)
 			}
 		}
+	}
+	sum := 0
+	for i, w := range c.writers {
+		actual := 0
+		for vc := range w.queues {
+			actual += w.queues[vc].size
+		}
+		if w.queued != actual {
+			return fmt.Errorf("sbus %s: writer %d queued counter %d != %d buffered flits", c.Name, i, w.queued, actual)
+		}
+		sum += w.queued
+	}
+	if sum != c.totalQueued {
+		return fmt.Errorf("sbus %s: writer queued sum %d != totalQueued %d", c.Name, sum, c.totalQueued)
 	}
 	return nil
 }

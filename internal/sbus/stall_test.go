@@ -1,0 +1,203 @@
+package sbus
+
+import (
+	"testing"
+
+	"ownsim/internal/noc"
+	"ownsim/internal/sim"
+)
+
+// engineRx returns credits immediately, like the ejection sinks do.
+type engineRx struct{ rx *Rx }
+
+func (r *engineRx) ReceiveFlit(port int, f *noc.Flit) {
+	if r.rx != nil {
+		r.rx.ReturnCredit(f.VC)
+	}
+}
+
+// buildTrackedChannel assembles an engine-driven two-writer channel with
+// stall tracking live (token-wait timestamps need the engine clock, so
+// tracking only runs on waker-driven channels).
+func buildTrackedChannel(t *testing.T) (*sim.Engine, *Channel, *Writer, *Writer) {
+	t.Helper()
+	eng := sim.NewEngine()
+	ch := NewChannel("bus0", 1, 0, 1)
+	ch.Kind = "photonic"
+	w0 := ch.AddWriter(&testSrc{}, 0, 1, 8)
+	w0.SetID(10)
+	w1 := ch.AddWriter(&testSrc{}, 0, 1, 8)
+	w1.SetID(11)
+	rx := &engineRx{}
+	rx.rx = ch.AddRx(rx, 0, 1, 4)
+	ch.EnableStallTracking()
+	ch.SetWaker(eng.RegisterWakeable(sim.PhaseDelivery, ch))
+	return eng, ch, w0, w1
+}
+
+func TestStallTrackingTokenWaitLifecycle(t *testing.T) {
+	eng, ch, w0, w1 := buildTrackedChannel(t)
+
+	// Writer 0 wins the idle channel; run until it holds the lock.
+	sendPacket(w0, 1, 0, 0, 2)
+	eng.Run(2)
+	// Writer 1 joins while the medium is held: its wait opens now.
+	since := eng.Cycle()
+	sendPacket(w1, 2, 0, 0, 2)
+
+	wi, at := ch.OldestWaiter()
+	if wi != 1 || at != since {
+		t.Fatalf("OldestWaiter = (%d, %d), want (1, %d)", wi, at, since)
+	}
+	if got := ch.StarvedWriters(since+10, 5); got != 1 {
+		t.Errorf("StarvedWriters(+10, budget 5) = %d, want 1", got)
+	}
+	if got := ch.StarvedWriters(since+10, 20); got != 0 {
+		t.Errorf("StarvedWriters(+10, budget 20) = %d, want 0", got)
+	}
+	ci := ch.Introspect()
+	if !ci.Writers[1].Waiting || ci.Writers[1].WaitingSinceCy != since {
+		t.Errorf("Introspect writer 1 = %+v, want waiting since %d", ci.Writers[1], since)
+	}
+	if ci.Writers[1].HeadPkt != 2 {
+		t.Errorf("Introspect writer 1 head packet = %d, want 2", ci.Writers[1].HeadPkt)
+	}
+
+	// Drain; the wait closes at writer 1's grant.
+	eng.Run(20)
+	if ch.Queued() != 0 {
+		t.Fatalf("channel not drained: Queued = %d", ch.Queued())
+	}
+	if wi, _ := ch.OldestWaiter(); wi != -1 {
+		t.Fatalf("OldestWaiter after drain = %d, want -1", wi)
+	}
+	if got := ch.MaxTokenWaitCy(); got == 0 {
+		t.Error("MaxTokenWaitCy = 0 after a contended grant, want > 0")
+	}
+	ci = ch.Introspect()
+	if ci.Writers[1].MaxWaitCy == 0 {
+		t.Error("Introspect writer 1 MaxWaitCy = 0 after a contended grant")
+	}
+	if err := ch.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStallTrackingReopensWaitOnBackToBackPackets(t *testing.T) {
+	eng, _, w0, w1 := buildTrackedChannel(t)
+	ch := w0.ch
+
+	// Writer 1 offers two packets; after its first tail releases the
+	// lock it must go straight back to waiting for re-arbitration.
+	sendPacket(w0, 1, 0, 0, 2)
+	eng.Run(2)
+	sendPacket(w1, 2, 0, 0, 2)
+	sendPacket(w1, 3, 0, 0, 2)
+	eng.Run(40)
+	if ch.Queued() != 0 {
+		t.Fatalf("channel not drained: Queued = %d", ch.Queued())
+	}
+	// Both of writer 1's grants closed a wait; the max covers the longer
+	// (first) one, which spanned writer 0's whole packet.
+	if got := ch.MaxTokenWaitCy(); got < 2 {
+		t.Errorf("MaxTokenWaitCy = %d, want >= 2", got)
+	}
+}
+
+func TestStallTrackingAPIsOffByDefault(t *testing.T) {
+	ch := NewChannel("t", 1, 0, 1)
+	ch.AddWriter(&testSrc{}, 0, 1, 4)
+	if wi, _ := ch.OldestWaiter(); wi != -1 {
+		t.Errorf("OldestWaiter without tracking = %d, want -1", wi)
+	}
+	if ch.StarvedWriters(1000, 1) != 0 {
+		t.Error("StarvedWriters without tracking != 0")
+	}
+	if ch.MaxTokenWaitCy() != 0 {
+		t.Error("MaxTokenWaitCy without tracking != 0")
+	}
+}
+
+func TestEnableStallTrackingIdempotent(t *testing.T) {
+	eng, ch, w0, w1 := buildTrackedChannel(t)
+	sendPacket(w0, 1, 0, 0, 2)
+	eng.Run(2)
+	sendPacket(w1, 2, 0, 0, 2)
+	ch.EnableStallTracking() // must not wipe the open wait
+	if wi, _ := ch.OldestWaiter(); wi != 1 {
+		t.Fatalf("re-enable reset tracking state: OldestWaiter = %d, want 1", wi)
+	}
+}
+
+func TestWriterIDBounds(t *testing.T) {
+	ch := NewChannel("t", 1, 0, 1)
+	w := ch.AddWriter(&testSrc{}, 0, 1, 4)
+	if got := ch.WriterID(0); got != -1 {
+		t.Errorf("unstamped WriterID = %d, want -1", got)
+	}
+	w.SetID(7)
+	if got := ch.WriterID(0); got != 7 {
+		t.Errorf("WriterID = %d, want 7", got)
+	}
+	if ch.WriterID(-1) != -1 || ch.WriterID(5) != -1 {
+		t.Error("out-of-range WriterID must be -1")
+	}
+	if w.Index() != 0 || w.ID() != 7 {
+		t.Errorf("writer Index/ID = %d/%d, want 0/7", w.Index(), w.ID())
+	}
+}
+
+// TestChannelHotPathAllocFreeWithoutTracking pins the instrumentation
+// bargain: with stall tracking disabled (the default), the send/tick
+// path allocates nothing in steady state.
+func TestChannelHotPathAllocFreeWithoutTracking(t *testing.T) {
+	var now uint64
+	ch := NewChannel("t", 1, 0, 1)
+	w := ch.AddWriter(&testSrc{}, 0, 1, 8)
+	rx := &engineRx{}
+	rx.rx = ch.AddRx(rx, 0, 1, 4)
+	p := &noc.Packet{ID: 1, NumFlits: 2}
+	fl := noc.MakeFlits(p)
+	iter := func() {
+		for _, f := range fl {
+			w.Send(f)
+		}
+		for i := 0; i < 8; i++ {
+			ch.Tick(now)
+			now++
+		}
+	}
+	iter() // warm the in-flight queue
+	iter()
+	if allocs := testing.AllocsPerRun(100, iter); allocs != 0 {
+		t.Errorf("untracked send/tick path allocates %v per packet, want 0", allocs)
+	}
+}
+
+// TestChannelHotPathAllocFreeWithTracking proves enabling the tracker
+// adds bookkeeping, not allocation: all per-writer state is sized once
+// at EnableStallTracking.
+func TestChannelHotPathAllocFreeWithTracking(t *testing.T) {
+	var now uint64
+	ch := NewChannel("t", 1, 0, 1)
+	w := ch.AddWriter(&testSrc{}, 0, 1, 8)
+	rx := &engineRx{}
+	rx.rx = ch.AddRx(rx, 0, 1, 4)
+	ch.EnableStallTracking()
+	p := &noc.Packet{ID: 1, NumFlits: 2}
+	fl := noc.MakeFlits(p)
+	iter := func() {
+		for _, f := range fl {
+			w.Send(f)
+		}
+		for i := 0; i < 8; i++ {
+			ch.Tick(now)
+			now++
+		}
+	}
+	iter()
+	iter()
+	if allocs := testing.AllocsPerRun(100, iter); allocs != 0 {
+		t.Errorf("tracked send/tick path allocates %v per packet, want 0", allocs)
+	}
+}

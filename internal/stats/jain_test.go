@@ -1,0 +1,43 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJainIndexBounds(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 1},
+		{"all zero", []float64{0, 0, 0}, 1},
+		{"single", []float64{7}, 1},
+		{"equal", []float64{3, 3, 3, 3}, 1},
+		{"one hog of four", []float64{1, 0, 0, 0}, 0.25},
+		{"skips non-finite", []float64{2, math.NaN(), math.Inf(1), 2}, 1},
+		{"skips negative", []float64{5, -1, 5}, 1},
+	}
+	for _, tc := range cases {
+		got := JainIndex(tc.xs)
+		if !ApproxEqual(got, tc.want, 1e-12) {
+			t.Errorf("%s: JainIndex = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestJainIndexAlwaysInUnitInterval(t *testing.T) {
+	pops := [][]float64{
+		{1, 2, 3, 4, 5},
+		{1000, 1, 1, 1},
+		{0.001, 0.002},
+		{0, 0, 9},
+	}
+	for _, xs := range pops {
+		j := JainIndex(xs)
+		if j <= 0 || j > 1 {
+			t.Errorf("JainIndex(%v) = %v outside (0,1]", xs, j)
+		}
+	}
+}

@@ -32,6 +32,7 @@ func BuildCMesh(p Params) *fabric.Network {
 	ser := EqualizedSerialize("cmesh", p.Cores)
 
 	n := fabric.New("cmesh", p.Cores, p.Meter)
+	n.CoresPerTile = Concentration
 	// Max router traversals: (side-1) in each dimension plus the first.
 	n.Diameter = 2*(side-1) + 1
 

@@ -22,6 +22,7 @@ func BuildOptXB(p Params) *fabric.Network {
 	ser := EqualizedSerialize("optxb", p.Cores)
 
 	n := fabric.New("optxb", p.Cores, p.Meter)
+	n.CoresPerTile = Concentration
 	n.Diameter = 2
 
 	// Ports: 0-3 cores, 4..4+tiles-2 write ports, last port = home read.

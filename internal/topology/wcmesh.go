@@ -48,6 +48,7 @@ func BuildWCMesh(p Params) *fabric.Network {
 	side := isqrt(nSubnets) // 4 at 256 cores, 8 at 1024
 
 	n := fabric.New("wcmesh", p.Cores, p.Meter)
+	n.CoresPerTile = Concentration
 	// src router, up to 2(side-1)+1 wireless routers, dst router.
 	n.Diameter = 2*(side-1) + 3
 

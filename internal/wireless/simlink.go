@@ -61,6 +61,7 @@ func BuildP2P(n *fabric.Network, tx, rx Endpoint, o LinkOpts) *sbus.Channel {
 	meter.SetChannelClass(id, o.ClassLabel)
 	ch.OnTransmit = func(f *noc.Flit, _ int) { meter.Wireless(id, epb) }
 	w := ch.AddWriter(tx.Router, tx.Port, o.NumVCs, o.txDepth())
+	w.SetID(tx.Router.Cfg.ID)
 	tx.Router.ConnectOutput(tx.Port, w, o.txDepth(), 1)
 	r := ch.AddRx(rx.Router, rx.Port, o.NumVCs, o.BufDepth)
 	rx.Router.ConnectInput(rx.Port, r)
@@ -92,6 +93,7 @@ func BuildSWMR(n *fabric.Network, txs, rxs []Endpoint, selectRx func(p *noc.Pack
 	ch.SelectRx = selectRx
 	for _, tx := range txs {
 		w := ch.AddWriter(tx.Router, tx.Port, o.NumVCs, o.txDepth())
+		w.SetID(tx.Router.Cfg.ID)
 		tx.Router.ConnectOutput(tx.Port, w, o.txDepth(), 1)
 	}
 	for _, rx := range rxs {
