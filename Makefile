@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all fmt vet build lint lint-fixtures test race smoke bench bench-compare ci
+.PHONY: all fmt vet build lint lint-fixtures test race smoke check bench bench-compare ci
 
 all: ci
 
@@ -85,6 +85,18 @@ smoke:
 		$$dir/live-breakdown.csv $$dir/live-breakdown.ndjson $$dir/live-breakdown.svg \
 		$$dir/fair_tiles.csv $$dir/fair_jain.csv $$dir/fair_heatmap.svg \
 		$$dir/dump.ndjson $$dir/dump-live.ndjson
+
+# check runs the conformance subsystem (internal/check): the quick
+# go-test harness (invariant checker, differential reference oracle,
+# metamorphic properties), then a seeded checked campaign through both
+# CLIs — every ownsim/sweep point runs under the full invariant set and
+# exits non-zero on any violation. Set CHECK_CAMPAIGN (optionally to an
+# iteration count) to deepen the fuzz loops; the nightly CI job does.
+check:
+	$(GO) test -run Conformance -count=1 ./...
+	$(GO) run ./cmd/ownsim -cores 256 -warmup 300 -measure 1500 -seed 101 -check >/dev/null
+	$(GO) run ./cmd/ownsim -topo pclos -cores 256 -warmup 300 -measure 1500 -seed 102 -check >/dev/null
+	$(GO) run ./cmd/sweep -topo all -cores 256 -points 3 -warmup 300 -measure 1200 -seed 103 -check >/dev/null
 
 # bench runs the simulator microbenchmarks (engine hot path, packet
 # pooling, end-to-end uniform-traffic runs) with allocation reporting.

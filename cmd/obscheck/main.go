@@ -3,10 +3,11 @@
 // one JSON object per line, .csv files as a rectangular table with a
 // header row (energy attribution CSVs additionally must have component
 // rows summing to their total row), .svg files as well-formed XML with
-// an svg root, and .prom files as Prometheus text exposition. It exits
-// non-zero on the first invalid or empty file — `make smoke` runs it in
-// CI so a formatting regression in the probe exporters cannot land
-// silently.
+// an svg root, and .prom files as Prometheus text exposition. Every
+// listed file is validated — a failure is reported and the remaining
+// files still checked — and the exit status is non-zero when any of
+// them was invalid or empty. `make smoke` runs it in CI so a formatting
+// regression in the probe exporters cannot land silently.
 //
 // Latency-breakdown CSVs (recognized by the probe.SpanCSVHeader header)
 // must satisfy the span sum identity exactly: the per-phase cycles
@@ -107,13 +108,29 @@ func main() {
 		}
 		fmt.Printf("ok %s (%d bytes)\n", *fetch, len(b))
 	}
-	for _, path := range flag.Args() {
+	if failed := checkFiles(flag.Args(), os.Stdout, os.Stderr); failed > 0 {
+		log.Fatalf("%d of %d file(s) failed validation", failed, flag.NArg())
+	}
+}
+
+// checkFiles validates every listed artifact, writing one "ok" line per
+// valid file to out and one failure line per invalid file to errw, and
+// returns the number of failures. All files are always evaluated — a
+// bad artifact early in the list must not mask later ones, and vice
+// versa — so the caller exits non-zero when any validator failed, not
+// only the first or last.
+func checkFiles(paths []string, out, errw io.Writer) int {
+	failed := 0
+	for _, path := range paths {
 		n, err := check(path)
 		if err != nil {
-			log.Fatalf("%s: %v", path, err)
+			fmt.Fprintf(errw, "obscheck: FAIL %s: %v\n", path, err)
+			failed++
+			continue
 		}
-		fmt.Printf("ok %s (%d %s)\n", path, n, unit(path))
+		fmt.Fprintf(out, "ok %s (%d %s)\n", path, n, unit(path))
 	}
+	return failed
 }
 
 // retryBudget bounds each fetch/scrape retry loop; -fetch-timeout

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -111,6 +113,46 @@ func TestValidPromName(t *testing.T) {
 		if validPromName(bad) {
 			t.Fatalf("%q accepted", bad)
 		}
+	}
+}
+
+// TestCheckFilesEvaluatesEveryArtifact is the regression test for the
+// exit-status bug where a failure aborted the run at the first bad
+// file: with one failing artifact listed before a passing one,
+// checkFiles must still validate (and report) the passing file, count
+// exactly one failure, and do the same with the order reversed.
+func TestCheckFilesEvaluatesEveryArtifact(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(good, []byte(`{"cycle": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bad, []byte(`{"cycle": `), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, order := range [][]string{{bad, good}, {good, bad}} {
+		var out, errw bytes.Buffer
+		failed := checkFiles(order, &out, &errw)
+		if failed != 1 {
+			t.Fatalf("order %v: %d failures, want 1", order, failed)
+		}
+		if !strings.Contains(out.String(), "ok "+good) {
+			t.Fatalf("order %v: passing file never validated (stdout %q)", order, out.String())
+		}
+		if !strings.Contains(errw.String(), "FAIL "+bad) {
+			t.Fatalf("order %v: failing file not reported (stderr %q)", order, errw.String())
+		}
+	}
+
+	// All files failing counts each one.
+	var out, errw bytes.Buffer
+	if failed := checkFiles([]string{bad, bad}, &out, &errw); failed != 2 {
+		t.Fatalf("two bad files: %d failures, want 2", failed)
+	}
+	// All passing counts none.
+	if failed := checkFiles([]string{good, good}, &out, &errw); failed != 0 {
+		t.Fatalf("two good files: %d failures, want 0", failed)
 	}
 }
 

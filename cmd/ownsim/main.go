@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"ownsim/internal/check"
 	"ownsim/internal/core"
 	"ownsim/internal/fabric"
 	"ownsim/internal/flightrec"
@@ -63,6 +64,7 @@ func main() {
 	wdSat := flag.Int("watchdog-sat", 0, "trip the watchdog after this many consecutive check windows with a channel >=95% busy (0 = off)")
 	wdEvery := flag.Uint64("watchdog-every", flightrec.DefaultCheckEveryCy, "watchdog check window in simulated cycles")
 	stallTimeout := flag.Duration("stall-timeout", 0, "dump goroutine stacks to stderr when the simulated cycle stops advancing for this long of wall time (0 = off)")
+	checkFlag := flag.Bool("check", false, "install the conformance checker (internal/check): audit protocol invariants during the run, dump state on the first violation and exit non-zero if any fired")
 	flag.Parse()
 
 	pat, err := traffic.ParsePattern(*pattern)
@@ -190,10 +192,31 @@ func main() {
 		})
 		defer stop()
 	}
+	// The conformance checker audits protocol invariants through its own
+	// dedicated hooks, so it composes with the probe and flight recorder;
+	// like them it never perturbs the Result.
+	var ck *check.Checker
+	if *checkFlag {
+		ck = check.New()
+		n.InstallChecker(ck, func(v check.Violation, snap *flightrec.Snapshot) {
+			fmt.Fprintf(os.Stderr, "ownsim: INVARIANT VIOLATION: %s\n", v)
+			if snap != nil {
+				if err := snap.WriteText(os.Stderr); err != nil {
+					log.Printf("violation dump failed: %v", err)
+				}
+			}
+		})
+	}
 	res := n.Run(
 		fabric.TrafficSpec{Pattern: pat, Rate: *load, Seed: *seed, Policy: sys.Policy, Classify: sys.Classify},
 		fabric.RunSpec{Warmup: *warmup, Measure: *measure, ReservoirCap: *reservoir},
 	)
+	if ck != nil {
+		// Close the run with a final structural audit.
+		if err := n.CheckInvariants(); err != nil {
+			ck.Report(n.Eng.Cycle(), check.RuleState, n.Name, err.Error())
+		}
+	}
 	if fr != nil {
 		fr.Dog.Finish(n.Eng.Cycle())
 	}
@@ -242,6 +265,7 @@ func main() {
 				"watchdog_starve": strconv.FormatUint(*wdStarve, 10),
 				"watchdog_stall":  strconv.Itoa(*wdStall),
 				"watchdog_sat":    strconv.Itoa(*wdSat),
+				"check":           strconv.FormatBool(*checkFlag),
 			},
 			Cores:   *cores,
 			Seed:    *seed,
@@ -312,5 +336,11 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("manifest:    %s\n", *manifest)
+	}
+	if ck != nil {
+		if ck.Total() > 0 {
+			log.Fatalf("conformance: %d invariant violation(s) detected", ck.Total())
+		}
+		fmt.Printf("conformance: clean (%d events audited)\n", ck.Events())
 	}
 }

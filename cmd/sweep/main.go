@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"ownsim/internal/check"
 	"ownsim/internal/core"
 	"ownsim/internal/fabric"
 	"ownsim/internal/flightrec"
@@ -71,6 +72,7 @@ func main() {
 	reservoir := flag.Int("reservoir", 0, "exact-percentile latency reservoir size in packets per run (0 = default 65536)")
 	fairness := flag.String("fairness", "", "write the instrumented point's token-fairness artifacts (per-tile wait CSV, Jain CSV, heatmap SVG) with this path prefix (single -topo)")
 	dumpOnExit := flag.String("dump-on-exit", "", "write the instrumented point's full state dump (NDJSON + text) with this path prefix (single -topo)")
+	checkFlag := flag.Bool("check", false, "run every sweep point under the conformance checker (internal/check); violations go to stderr and the exit code is non-zero if any fired")
 	flag.Parse()
 
 	pat, err := traffic.ParsePattern(*pattern)
@@ -110,6 +112,7 @@ func main() {
 				"sample":    strconv.FormatUint(*sample, 10),
 				"window":    strconv.FormatUint(*window, 10),
 				"reservoir": strconv.Itoa(*reservoir),
+				"check":     strconv.FormatBool(*checkFlag),
 			},
 			Cores: *cores,
 			Seed:  *seed,
@@ -119,6 +122,7 @@ func main() {
 
 	start := time.Now()
 	done := 0
+	violations := 0
 	total := len(names) * len(loads)
 	var mu sync.Mutex
 	fmt.Println("topology,pattern,load_fnc,avg_latency_cy,throughput_fnc,saturated")
@@ -136,7 +140,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sweep: [%d/%d] %s load=%.5f latency=%.1f thr=%.5f sat=%v (%.1fs)\n",
 				done, total, name, p.Load, p.Latency, p.Throughput, p.Saturated, time.Since(start).Seconds())
 		}
-		pts := core.SweepWithProgress(sys, pat, loads, b, onPoint)
+		var pts []stats.CurvePoint
+		if *checkFlag {
+			// Checked sweep: same curve (the checker is inert), plus every
+			// invariant violation across the points, in load order.
+			var vs []check.Violation
+			pts, vs = core.CheckedSweep(sys, pat, loads, b, onPoint)
+			for _, v := range vs {
+				fmt.Fprintf(os.Stderr, "sweep: INVARIANT VIOLATION [%s]: %s\n", name, v)
+			}
+			violations += len(vs)
+		} else {
+			pts = core.SweepWithProgress(sys, pat, loads, b, onPoint)
+		}
 		series := plot.Series{Name: name}
 		for i, p := range pts {
 			fmt.Printf("%s,%s,%.6f,%.2f,%.6f,%v\n", name, pat, p.Load, p.Latency, p.Throughput, p.Saturated)
@@ -285,5 +301,11 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "sweep: wrote manifest to %s\n", *manifest)
+	}
+	if *checkFlag {
+		if violations > 0 {
+			log.Fatalf("conformance: %d invariant violation(s) across the sweep", violations)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: conformance clean across %d checked point(s)\n", total)
 	}
 }

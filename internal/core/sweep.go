@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 
+	"ownsim/internal/check"
 	"ownsim/internal/fabric"
 	"ownsim/internal/stats"
 	"ownsim/internal/topology"
@@ -111,6 +112,37 @@ func SweepWithProgress(sys System, pattern traffic.Pattern, loads []float64, b B
 		}
 	})
 	return points
+}
+
+// CheckedSweep is SweepWithProgress with the conformance checker
+// installed on every point (System.RunChecked). It returns the curve in
+// load order plus every violation detected across the sweep, also
+// concatenated in load order so campaign reports stay deterministic. The
+// curve itself is bit-identical to an unchecked sweep's.
+func CheckedSweep(sys System, pattern traffic.Pattern, loads []float64, b Budget, onPoint func(i int, p stats.CurvePoint)) ([]stats.CurvePoint, []check.Violation) {
+	points := make([]stats.CurvePoint, len(loads))
+	perPoint := make([][]check.Violation, len(loads))
+	ParallelMap(len(loads), func(i int) {
+		res, vs := sys.RunChecked(
+			fabric.TrafficSpec{Pattern: pattern, Rate: loads[i], Seed: b.Seed + uint64(i)},
+			fabric.RunSpec{Warmup: b.Warmup, Measure: b.Measure, ReservoirCap: b.ReservoirCap},
+		)
+		points[i] = stats.CurvePoint{
+			Load:       loads[i],
+			Latency:    res.AvgLatency,
+			Throughput: res.Throughput,
+			Saturated:  !res.Drained,
+		}
+		perPoint[i] = vs
+		if onPoint != nil {
+			onPoint(i, points[i])
+		}
+	})
+	var all []check.Violation
+	for _, vs := range perPoint {
+		all = append(all, vs...)
+	}
+	return points, all
 }
 
 // SaturationThroughput sweeps to saturation and reports the accepted

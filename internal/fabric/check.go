@@ -1,0 +1,177 @@
+package fabric
+
+import (
+	"fmt"
+
+	"ownsim/internal/check"
+	"ownsim/internal/flightrec"
+	"ownsim/internal/sim"
+)
+
+// InstallChecker wires the conformance checker c through every component
+// of the network: per-flit source/sink hooks close the flit-conservation
+// ledger, router hooks audit route legality and per-VC FIFO order against
+// the topology's own routing tables, shared-channel hooks audit
+// single-token-holder arbitration and delivery order, pool hooks catch
+// mid-flight recycles, and a periodic structural sweep re-validates
+// credit bounds and queue accounting (see internal/check for the full
+// invariant catalog). Install before Run, and at most once.
+//
+// Violations trip a flight-recorder-style dump: the first one captures a
+// full state snapshot (Snapshot, naming the offending component and cycle
+// in its reason) retrievable through CheckerSnapshot. onViolation, which
+// may be nil, additionally observes every violation as it happens; only
+// the first call carries the snapshot, later ones pass nil.
+//
+// The checker observes through its own dedicated hook fields, so it
+// coexists with an installed probe and flight recorder in any order. Like
+// them it is inert: a checked run's Result is bit-identical to an
+// unchecked one (the structural sweep registers an always-on collect-phase
+// ticker, which only pins RunUntil to per-cycle stepping — simulation
+// state is unaffected).
+func (n *Network) InstallChecker(c *check.Checker, onViolation func(v check.Violation, snap *flightrec.Snapshot)) {
+	if c == nil {
+		return
+	}
+	if n.Checker != nil {
+		panic(fmt.Sprintf("fabric %s: checker installed twice", n.Name))
+	}
+	n.Checker = c
+
+	prev := c.OnViolation
+	c.OnViolation = func(v check.Violation) {
+		var snap *flightrec.Snapshot
+		if n.checkerSnap == nil {
+			//lint:ignore hookpure first-violation dump capture is the hook's contract; it records diagnostics only and never feeds simulation state
+			n.checkerSnap = n.Snapshot("invariant violation: " + v.String())
+			snap = n.checkerSnap
+		}
+		if prev != nil {
+			prev(v)
+		}
+		if onViolation != nil {
+			onViolation(v, snap)
+		}
+	}
+
+	for _, src := range n.Sources {
+		if src == nil {
+			continue
+		}
+		sm := c.NewSourceMonitor(src.CoreID)
+		src.OnCkFlit = sm.Flit
+		src.Pool().OnCkRecycle = c.Recycle
+	}
+	for _, snk := range n.Sinks {
+		if snk == nil {
+			continue
+		}
+		km := c.NewSinkMonitor(snk.CoreID)
+		snk.OnCkFlit = km.Flit
+	}
+	for _, r := range n.Routers {
+		rm := c.NewRouterMonitor(r.Cfg.ID, r.Cfg.Route, n.Diameter)
+		r.OnCkRoute = rm.Route
+		r.OnCkFlit = rm.Flit
+	}
+	for _, ch := range n.Channels {
+		cm := c.NewChannelMonitor(channelLabel(ch))
+		ch.OnCkAcquire = cm.Acquire
+		ch.OnCkRelease = cm.Release
+		ch.OnCkDeliver = cm.Deliver
+	}
+	n.Eng.Register(sim.PhaseCollect, &checkSweep{n: n, c: c, every: c.SweepEvery()})
+}
+
+// CheckerSnapshot returns the state snapshot captured at the checker's
+// first violation, or nil when the run was (so far) conformant.
+func (n *Network) CheckerSnapshot() *flightrec.Snapshot { return n.checkerSnap }
+
+// checkSweep is the checker's periodic structural auditor: every `every`
+// cycles it re-runs the routers' and channels' CheckInvariants, reporting
+// breaches as credit/state violations. It reads state only, so it is as
+// inert as the rest of the checker.
+type checkSweep struct {
+	n     *Network
+	c     *check.Checker
+	every uint64
+}
+
+// Tick implements sim.Ticker (collect phase).
+func (s *checkSweep) Tick(cycle uint64) {
+	if cycle%s.every != 0 {
+		return
+	}
+	for _, r := range s.n.Routers {
+		if err := r.CheckInvariants(); err != nil {
+			s.c.Report(cycle, check.RuleCredit, fmt.Sprintf("router %d", r.Cfg.ID), err.Error())
+		}
+	}
+	for _, ch := range s.n.Channels {
+		if err := ch.CheckInvariants(); err != nil {
+			s.c.Report(cycle, check.RuleState, channelLabel(ch), err.Error())
+		}
+	}
+}
+
+// SetReferenceMode strips the engine-level optimizations from an
+// assembled network before Run, turning it into the differential oracle's
+// deliberately simple sequential interpreter: every component ticks every
+// cycle (Waker.Sleep becomes a no-op, so the engine never goes quiescent
+// and RunUntil never fast-forwards) and generators allocate every packet
+// freshly instead of drawing from the source freelists. By the engine's
+// wake-protocol contract and the pool-safety guarantees both changes are
+// semantically invisible, so a reference run must match the optimized
+// engine bit for bit — DiffRuns asserts exactly that. Call after the
+// topology builder and before Run.
+func (n *Network) SetReferenceMode() {
+	n.Eng.DisableSleep()
+	for _, src := range n.Sources {
+		if src != nil {
+			src.NoPool = true
+		}
+	}
+}
+
+// RecordDeliveries wires a delivery log through every sink's OnEject
+// hook, capturing each completed packet in global ejection order. Call
+// before Run. The probe layer owns the same hook, so combining it with
+// InstallProbe is rejected.
+func (n *Network) RecordDeliveries() *check.DeliveryLog {
+	if n.Probe != nil {
+		panic(fmt.Sprintf("fabric %s: RecordDeliveries and InstallProbe both claim Sink.OnEject", n.Name))
+	}
+	log := &check.DeliveryLog{}
+	for _, snk := range n.Sinks {
+		if snk != nil {
+			snk.OnEject = log.Record
+		}
+	}
+	return log
+}
+
+// DiffRuns is the differential reference oracle: it runs the same traffic
+// through a full-featured network and through a reference-mode rebuild
+// (SetReferenceMode: sequential every-cycle interpretation, no pooling)
+// and compares per-packet delivery order and latency event for event,
+// plus the final Results byte for byte. build must return a freshly
+// assembled network each call; any divergence is returned as an error
+// naming the first mismatching delivery.
+func DiffRuns(build func() *Network, ts TrafficSpec, rs RunSpec) error {
+	full := build()
+	fullLog := full.RecordDeliveries()
+	fullRes := full.Run(ts, rs)
+
+	ref := build()
+	ref.SetReferenceMode()
+	refLog := ref.RecordDeliveries()
+	refRes := ref.Run(ts, rs)
+
+	if err := check.CompareLogs(fullLog, refLog); err != nil {
+		return err
+	}
+	if fullRes != refRes {
+		return fmt.Errorf("fabric: engine and reference Results diverge:\n  engine:    %+v\n  reference: %+v", fullRes, refRes)
+	}
+	return nil
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 
+	"ownsim/internal/check"
 	"ownsim/internal/flightrec"
 	"ownsim/internal/noc"
 	"ownsim/internal/power"
@@ -39,6 +40,13 @@ type Network struct {
 	// FlightRec is the installed diagnostics layer (ring recorder, stall
 	// tracker, watchdog); nil disables it. See InstallFlightRecorder.
 	FlightRec *flightrec.FlightRecorder
+	// Checker is the installed conformance layer; nil (the default)
+	// disables it. See InstallChecker.
+	Checker *check.Checker
+
+	// checkerSnap is the state snapshot taken at the checker's first
+	// violation; see CheckerSnapshot.
+	checkerSnap *flightrec.Snapshot
 
 	Routers []*router.Router
 	Sources []*router.Source

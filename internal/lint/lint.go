@@ -130,6 +130,7 @@ var DeterministicPackages = []string{
 	"internal/sbus",
 	"internal/obs",
 	"internal/flightrec",
+	"internal/check",
 }
 
 // inScope reports whether relPath is within any of the listed

@@ -25,6 +25,14 @@ package noc
 type Pool struct {
 	free []*Packet
 
+	// OnCkRecycle observes every packet returned to this pool
+	// (fabric.Network.InstallChecker wires it; nil disables). It fires
+	// before the lifetime ends, so the conformance checker can audit the
+	// packet's conservation ledger: a recycle of a packet whose flits
+	// were launched but not all delivered is a pooling-protocol
+	// violation the tail-side checks alone cannot see.
+	OnCkRecycle func(p *Packet)
+
 	// Gets counts packets handed out, News the subset that had to be
 	// freshly allocated (Gets - News came from the freelist).
 	Gets, News uint64
@@ -64,6 +72,9 @@ func Recycle(p *Packet) {
 	}
 	if p.freed {
 		panic("noc: packet recycled twice")
+	}
+	if p.pool.OnCkRecycle != nil {
+		p.pool.OnCkRecycle(p)
 	}
 	p.freed = true
 	p.gen++

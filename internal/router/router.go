@@ -136,6 +136,16 @@ type Router struct {
 	OnVCAlloc func(cycle uint64, p *noc.Packet, outPort, outVC int)
 	OnSwitch  func(cycle uint64, f *noc.Flit, inPort, outPort int)
 
+	// OnCkRoute and OnCkFlit are the conformance checker's observers
+	// (fabric.Network.InstallChecker wires them; nil disables), kept
+	// separate from the probe hooks so checker and probe coexist.
+	// OnCkRoute fires at route computation with the chosen output port
+	// and the permitted-VC mask; OnCkFlit fires for every flit granted by
+	// switch allocation, with its input/output coordinates and the output
+	// VC it was rewritten to.
+	OnCkRoute func(cycle uint64, p *noc.Packet, inPort, outPort int, vcMask uint32)
+	OnCkFlit  func(cycle uint64, f *noc.Flit, inPort, outPort, outVC int)
+
 	in  []*InputPort
 	out []*OutputPort
 
@@ -355,6 +365,9 @@ func (r *Router) switchAllocate() {
 		if r.OnSwitch != nil {
 			r.OnSwitch(r.now, f, v.port, p)
 		}
+		if r.OnCkFlit != nil {
+			r.OnCkFlit(r.now, f, v.port, p, v.outVC)
+		}
 		op.credits[v.outVC]--
 		op.busyUntil = r.now + uint64(op.serializeCy)
 		op.down.Send(f)
@@ -424,6 +437,9 @@ func (r *Router) routeCompute() {
 		v.stage = stWaitVCA
 		if r.OnRoute != nil {
 			r.OnRoute(r.now, f.Pkt, v.port, outPort)
+		}
+		if r.OnCkRoute != nil {
+			r.OnCkRoute(r.now, f.Pkt, v.port, outPort, mask)
 		}
 	}
 }

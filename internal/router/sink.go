@@ -21,6 +21,11 @@ type Sink struct {
 	// separate from OnPacket (which the statistics collector owns).
 	// fabric.Network.InstallProbe wires it; nil disables.
 	OnEject func(p *noc.Packet, cycle uint64)
+	// OnCkFlit is the conformance checker's observer
+	// (fabric.Network.InstallChecker wires it; nil disables): it fires
+	// for every delivered flit before the credit is returned, closing
+	// the checker's conservation ledger on the tail flit.
+	OnCkFlit func(cycle uint64, f *noc.Flit)
 
 	upstream noc.CreditReturner
 	eng      *sim.Engine
@@ -69,6 +74,9 @@ func (s *Sink) ReceiveFlit(_ int, f *noc.Flit) {
 		panic(fmt.Sprintf("router: sink %d: packet %d flit out of order: seq %d, want %d", s.CoreID, p.ID, f.Seq, want))
 	}
 	s.expected[p.ID] = f.Seq + 1
+	if s.OnCkFlit != nil {
+		s.OnCkFlit(s.clock(), f)
+	}
 	// Ejection buffer drains immediately; return the credit.
 	if s.upstream != nil {
 		s.upstream.ReturnCredit(f.VC)

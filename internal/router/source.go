@@ -62,6 +62,16 @@ type Source struct {
 	// fabric.Network.InstallProbe wires them; nil disables.
 	OnEnqueue func(p *noc.Packet, cycle uint64)
 	OnInject  func(p *noc.Packet, cycle uint64)
+	// OnCkFlit is the conformance checker's observer
+	// (fabric.Network.InstallChecker wires it; nil disables): it fires
+	// for every flit the source sends into the network, opening the
+	// checker's per-packet conservation ledger on the head flit.
+	OnCkFlit func(cycle uint64, f *noc.Flit)
+	// NoPool, when set before SetGenerator, keeps pooling-aware
+	// generators off this source's freelist so every packet is freshly
+	// allocated. The conformance oracle's reference mode sets it; results
+	// are identical either way (pool-safety tests pin this).
+	NoPool bool
 
 	out     noc.Conduit
 	numVCs  int
@@ -124,7 +134,7 @@ func (s *Source) SetGenerator(g Generator) {
 	if nw, ok := g.(NextWaker); ok {
 		s.nextWaker = nw
 	}
-	if pu, ok := g.(PoolUser); ok {
+	if pu, ok := g.(PoolUser); ok && !s.NoPool {
 		pu.UsePool(&s.pool)
 	}
 	if s.waker != nil {
@@ -190,6 +200,9 @@ func (s *Source) Tick(cycle uint64) {
 		f := s.inflight[s.nextFlit]
 		f.VC = s.curVC
 		s.credits[s.curVC]--
+		if s.OnCkFlit != nil {
+			s.OnCkFlit(cycle, f)
+		}
 		s.out.Send(f)
 		s.nextFlit++
 		if s.nextFlit == len(s.inflight) {

@@ -55,6 +55,17 @@ type Channel struct {
 	OnAcquire func(cycle uint64, p *noc.Packet, tokenCostCy int)
 	OnRelease func(cycle uint64, p *noc.Packet)
 	OnFlitTx  func(cycle uint64, f *noc.Flit, rx int)
+	// OnCkAcquire, OnCkRelease and OnCkDeliver are the conformance
+	// checker's observers (fabric.Network.InstallChecker wires them; nil
+	// disables). They are deliberately separate fields from the probe
+	// hooks so checker and probe coexist: OnCkAcquire fires at every
+	// token grant with the winning writer index and selected receiver,
+	// OnCkRelease fires when the tail flit frees the whole-packet lock,
+	// and OnCkDeliver fires when a flit lands in receiver rx's input
+	// buffer (the only observation point for delivery-side FIFO order).
+	OnCkAcquire func(cycle uint64, p *noc.Packet, writer, rx int)
+	OnCkRelease func(cycle uint64, p *noc.Packet, writer int)
+	OnCkDeliver func(cycle uint64, f *noc.Flit, rx int)
 
 	writers []*Writer
 	rxs     []*Rx
@@ -235,6 +246,9 @@ func (c *Channel) tick(cycle uint64) {
 			break
 		}
 		c.inflight.pop()
+		if c.OnCkDeliver != nil {
+			c.OnCkDeliver(cycle, fl.f, fl.rx)
+		}
 		c.rxs[fl.rx].dst.ReceiveFlit(c.rxs[fl.rx].dstPort, fl.f)
 	}
 	if c.busyUntil > cycle {
@@ -317,6 +331,9 @@ func (c *Channel) transmitLocked(cycle uint64) {
 		if c.OnRelease != nil {
 			c.OnRelease(cycle, f.Pkt)
 		}
+		if c.OnCkRelease != nil {
+			c.OnCkRelease(cycle, f.Pkt, w.idx)
+		}
 	}
 }
 
@@ -361,6 +378,9 @@ func (c *Channel) acquire(cycle uint64) {
 		}
 		if c.OnAcquire != nil {
 			c.OnAcquire(cycle, f.Pkt, d*c.TokenHopCy)
+		}
+		if c.OnCkAcquire != nil {
+			c.OnCkAcquire(cycle, f.Pkt, wi, rxIdx)
 		}
 		return
 	}

@@ -74,6 +74,7 @@ type Engine struct {
 	phases  [numPhases]phaseSched
 	cycle   uint64
 	fastFwd uint64
+	noSleep bool
 }
 
 // NewEngine returns an empty engine positioned at cycle zero.
@@ -104,6 +105,18 @@ func (e *Engine) RegisterWakeable(p Phase, t Ticker) *Waker {
 	ps.add(t, w)
 	return w
 }
+
+// DisableSleep puts the engine in reference mode: Waker.Sleep becomes a
+// no-op, so every wakeable component stays permanently awake and is
+// visited every cycle, and the engine never goes quiescent (RunUntil
+// never fast-forwards). The wake protocol requires spurious ticks to be
+// no-ops, so simulation state is identical cycle for cycle — the
+// conformance oracle (internal/check) relies on this to re-run workloads
+// without the active-set scheduler. Call before the first Step/Run.
+func (e *Engine) DisableSleep() { e.noSleep = true }
+
+// SleepDisabled reports whether DisableSleep was called.
+func (e *Engine) SleepDisabled() bool { return e.noSleep }
 
 // Cycle returns the number of completed cycles. During a component's Tick
 // it reports the cycle currently executing, which is what wakeable

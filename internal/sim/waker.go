@@ -32,7 +32,14 @@ func (w *Waker) Wake() {
 // Sleep removes the component from the active set. Call it only from
 // inside the component's own Tick, after establishing that no work is
 // pending; external events re-wake the component through Wake/WakeAt.
-func (w *Waker) Sleep() { w.ps.clear(w.idx) }
+// Under Engine.DisableSleep it is a no-op, pinning every component in
+// the every-cycle schedule the reference oracle requires.
+func (w *Waker) Sleep() {
+	if w.e.noSleep {
+		return
+	}
+	w.ps.clear(w.idx)
+}
 
 // WakeAt schedules a visit at the given future cycle. Cycles not after
 // the current one degrade to Wake. A pending earlier-or-equal timed
